@@ -1,0 +1,34 @@
+//! # rahtm-baselines
+//!
+//! The comparison mappings from the paper's evaluation (§IV):
+//!
+//! * [`permute`] — canonical dimension-permutation orders (`ABCDET`,
+//!   `TABCDE`, `ACEBDT`, …): the default and "human-guided" mappings the
+//!   BG/Q runtime supports directly.
+//! * [`hilbert_map`] — the adapted Hilbert-curve mapping: a space-filling
+//!   curve over the equal power-of-two dimensions (A–D on Mira), remaining
+//!   dimensions in plain order.
+//! * [`rht`] — Rubik-like Hierarchical Tiling: rectangular application
+//!   tiles mapped onto compact sub-torus blocks (re-implemented from the
+//!   paper's description of its Rubik configuration).
+//! * [`greedy`] — a routing-unaware greedy hop-bytes mapper (the class of
+//!   heuristic RAHTM's §III-A argues is mis-directed on adaptive-routing
+//!   machines) and a seeded random mapping.
+//!
+//! All mappers return a per-rank node assignment `Vec<NodeId>`; core-slot
+//! assignment within a node follows rank order (see
+//! `rahtm_core::TaskMapping::from_nodes`).
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's math notation
+#![deny(missing_docs)]
+
+pub mod greedy;
+pub mod hilbert_map;
+pub mod permute;
+pub mod rht;
+
+pub use greedy::{greedy_hop_bytes, random_mapping};
+pub use hilbert_map::hilbert_mapping;
+pub use permute::{dim_order_mapping, DimOrder};
+pub use rht::{rht_mapping, RhtConfig};

@@ -1,0 +1,64 @@
+//! Macro-benchmark: the Figure 8 / Figure 10 mapping line-up at the micro
+//! scale — each strategy's mapping-computation cost over the full
+//! benchmark set (Criterion companion to `harness fig8`/`fig10`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rahtm_bench::experiments::{compute_mapping, MappingKind, Scale};
+use rahtm_commgraph::Benchmark;
+use rahtm_core::RahtmConfig;
+use std::hint::black_box;
+
+fn bench_mapping_strategies(c: &mut Criterion) {
+    let scale = Scale::micro();
+    let bench = Benchmark::Bt;
+    let spec = bench.spec(scale.ranks);
+    let graph = spec.comm_graph();
+    let mut group = c.benchmark_group("fig8_10/mapping_cost_bt64");
+    group.sample_size(10);
+    let kinds = vec![
+        MappingKind::Order(0),
+        MappingKind::Hilbert,
+        MappingKind::Rht,
+        MappingKind::GreedyHopBytes,
+        MappingKind::Rahtm(Box::new(RahtmConfig::fast())),
+    ];
+    for kind in kinds {
+        group.bench_function(kind.label(&scale), |b| {
+            b.iter(|| {
+                black_box(compute_mapping(
+                    black_box(&kind),
+                    &scale,
+                    bench,
+                    &graph,
+                    &spec.grid,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rahtm_beam_ablation(c: &mut Criterion) {
+    let scale = Scale::micro();
+    let bench = Benchmark::Cg;
+    let spec = bench.spec(scale.ranks);
+    let graph = spec.comm_graph();
+    let mut group = c.benchmark_group("fig8_10/rahtm_beam_cg64");
+    group.sample_size(10);
+    for beam in [1usize, 8, 64] {
+        let cfg = RahtmConfig {
+            beam_width: beam,
+            ..RahtmConfig::fast()
+        };
+        group.bench_function(format!("beam{beam}"), |b| {
+            let kind = MappingKind::Rahtm(Box::new(cfg.clone()));
+            b.iter(|| {
+                black_box(compute_mapping(&kind, &scale, bench, &graph, &spec.grid))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping_strategies, bench_rahtm_beam_ablation);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Micro-benchmark: the LP/MILP solver on RAHTM-shaped instances
+//! (the CPLEX-substitute's cost profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rahtm_commgraph::patterns;
+use rahtm_core::milp::{milp_map, MilpMapOptions};
+use rahtm_lp::{solve_lp, solve_milp, MilpOptions, Problem, Sense, SimplexOptions};
+use rahtm_routing::adaptive::optimal_adaptive_mcl;
+use rahtm_topology::Torus;
+use std::hint::black_box;
+
+/// Dense-ish random LPs of growing size.
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/simplex_random");
+    for &(rows, cols) in &[(20usize, 40usize), (60, 120), (150, 300)] {
+        let p = random_lp(rows, cols, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &p,
+            |b, p| b.iter(|| black_box(solve_lp(p, &SimplexOptions::default()))),
+        );
+    }
+    group.finish();
+}
+
+/// The routing LP used for optimal-split evaluation.
+fn bench_routing_lp(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4]);
+    let g = patterns::random(16, 24, 1.0, 20.0, 3);
+    let place: Vec<u32> = (0..16).collect();
+    let flows: Vec<(u32, u32, f64)> = g
+        .flows()
+        .iter()
+        .map(|f| (place[f.src as usize], place[f.dst as usize], f.bytes))
+        .collect();
+    c.bench_function("lp/routing_optimal_split_4x4", |b| {
+        b.iter(|| {
+            black_box(optimal_adaptive_mcl(
+                &topo,
+                black_box(&flows),
+                &SimplexOptions::default(),
+            ))
+        })
+    });
+}
+
+/// Table II MILPs at leaf sizes (the phase-2 unit of work).
+fn bench_table2_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/table2_milp");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let cube = Torus::two_ary_cube(n);
+        let g = patterns::random(1 << n, 3 * (1 << n), 1.0, 20.0, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2ary{n}cube")), &n, |b, _| {
+            b.iter(|| {
+                black_box(milp_map(
+                    &cube,
+                    &g,
+                    &MilpMapOptions {
+                        milp: MilpOptions {
+                            max_nodes: 50,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Knapsack-style pure MILP (branch-and-bound stress).
+fn bench_knapsack(c: &mut Criterion) {
+    let mut p = Problem::new();
+    let n = 18;
+    let cols: Vec<_> = (0..n)
+        .map(|i| p.add_bin_col(&format!("x{i}"), -((i % 7 + 1) as f64)))
+        .collect();
+    let coeffs: Vec<_> = cols
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, (i % 5 + 1) as f64))
+        .collect();
+    p.add_row(Sense::Le, 20.0, &coeffs);
+    c.bench_function("lp/knapsack_18", |b| {
+        b.iter(|| black_box(solve_milp(&p, &MilpOptions::default())))
+    });
+}
+
+fn random_lp(rows: usize, cols: usize, seed: u64) -> Problem {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new();
+    let x0: Vec<f64> = (0..cols).map(|_| rng.gen_range(0.0..5.0)).collect();
+    let cs: Vec<_> = (0..cols)
+        .map(|j| p.add_col(&format!("x{j}"), 0.0, 10.0, rng.gen_range(-2.0..2.0)))
+        .collect();
+    for _ in 0..rows {
+        let coeffs: Vec<_> = cs
+            .iter()
+            .map(|&c| (c, rng.gen_range(-1.0..1.0)))
+            .collect();
+        let lhs: f64 = coeffs.iter().map(|&(c, a)| a * x0[c.index()]).sum();
+        p.add_row(Sense::Le, lhs + rng.gen_range(0.0..1.0), &coeffs);
+    }
+    p
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_routing_lp,
+    bench_table2_milp,
+    bench_knapsack
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmark: MCL evaluation — the innermost loop of the merge
+//! phase (thousands of evaluations per orientation search).
+//!
+//! Compares the three routing models' evaluation costs and scales the
+//! uniform-minimal model across torus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rahtm_commgraph::{patterns, Benchmark};
+use rahtm_routing::{route_graph, Routing};
+use rahtm_topology::Torus;
+use std::hint::black_box;
+
+fn bench_routing_models(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4, 4]);
+    let g = patterns::random(64, 200, 1.0, 100.0, 7);
+    let place: Vec<u32> = (0..64).collect();
+    let mut group = c.benchmark_group("mcl_eval/models");
+    for (name, routing) in [
+        ("dor", Routing::DimOrder),
+        ("uniform_minimal", Routing::UniformMinimal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let loads = route_graph(&topo, &g, black_box(&place), routing);
+                black_box(loads.mcl(&topo))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_torus_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcl_eval/scaling");
+    for side in [4u16, 8, 16] {
+        let topo = Torus::torus(&[side, side]);
+        let n = topo.num_nodes();
+        let g = patterns::halo_2d(side as u32, side as u32, 10.0, true);
+        let place: Vec<u32> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                route_graph(&topo, &g, black_box(&place), Routing::UniformMinimal).mcl(&topo)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_benchmark_graphs(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4, 4, 4, 2]);
+    let mut group = c.benchmark_group("mcl_eval/nas_16k_node_level");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        let g = bench.graph(16384);
+        // round-robin node placement (pure evaluation cost, 16K flows)
+        let place: Vec<u32> = (0..16384).map(|r| r % 512).collect();
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                route_graph(&topo, &g, black_box(&place), Routing::UniformMinimal).mcl(&topo)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing_models,
+    bench_torus_scaling,
+    bench_benchmark_graphs
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmark: the packet-level discrete-event simulator's event
+//! throughput across routing policies and traffic intensities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rahtm_commgraph::patterns;
+use rahtm_netsim::des::{simulate_phase, DesConfig, DesRouting};
+use rahtm_topology::Torus;
+use std::hint::black_box;
+
+fn bench_routing_policy(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4]);
+    let g = patterns::halo_2d(4, 4, 8192.0, true);
+    let place: Vec<u32> = (0..16).collect();
+    let mut group = c.benchmark_group("des/routing_policy");
+    for (name, routing) in [
+        ("dor", DesRouting::DimOrder),
+        ("adaptive", DesRouting::MinimalAdaptive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(simulate_phase(
+                    &topo,
+                    &g,
+                    black_box(&place),
+                    &DesConfig {
+                        routing,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traffic_scaling(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4, 2]);
+    let place: Vec<u32> = (0..32).collect();
+    let mut group = c.benchmark_group("des/message_size");
+    group.sample_size(20);
+    for kb in [4u32, 16, 64] {
+        let g = patterns::halo_3d(4, 4, 2, (kb * 1024) as f64, true);
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, _| {
+            b.iter(|| {
+                black_box(simulate_phase(&topo, &g, black_box(&place), &DesConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des/network_size");
+    group.sample_size(10);
+    for side in [4u16, 8] {
+        let topo = Torus::torus(&[side, side]);
+        let n = topo.num_nodes();
+        let g = patterns::transpose(side as u32, 16384.0);
+        let place: Vec<u32> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                black_box(simulate_phase(&topo, &g, black_box(&place), &DesConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_policy, bench_traffic_scaling, bench_network_size);
+criterion_main!(benches);

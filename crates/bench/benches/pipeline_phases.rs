@@ -1,0 +1,94 @@
+//! Micro-benchmark: per-phase cost of the RAHTM pipeline (the §V-B
+//! optimization-time story) plus the clustering/tiling search and the
+//! sub-problem cache ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rahtm_commgraph::{Benchmark, RankGrid};
+use rahtm_core::cluster::{best_tiling, cluster_level};
+use rahtm_core::{RahtmConfig, RahtmMapper};
+use rahtm_topology::{BgqMachine, Torus};
+use std::hint::black_box;
+
+fn bench_tiling_search(c: &mut Criterion) {
+    let g = Benchmark::Bt.graph(1024);
+    let grid = RankGrid::new(&[32, 32]);
+    c.bench_function("pipeline/tiling_search_1k", |b| {
+        b.iter(|| black_box(best_tiling(&g, &grid, 8)))
+    });
+    c.bench_function("pipeline/cluster_level_1k", |b| {
+        b.iter(|| black_box(cluster_level(&g, &grid, 8)))
+    });
+}
+
+fn bench_full_pipeline_micro(c: &mut Criterion) {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let mut group = c.benchmark_group("pipeline/full_micro64");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        let spec = bench.spec(64);
+        let graph = spec.comm_graph();
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                black_box(
+                    RahtmMapper::new(RahtmConfig::fast())
+                        .map(&machine, &graph, Some(spec.grid.clone())),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let spec = Benchmark::Bt.spec(64);
+    let graph = spec.comm_graph();
+    let mut group = c.benchmark_group("pipeline/subproblem_cache");
+    group.sample_size(10);
+    for (name, cached) in [("cached", true), ("uncached", false)] {
+        group.bench_function(name, |b| {
+            let cfg = RahtmConfig {
+                cache_subproblems: cached,
+                ..RahtmConfig::fast()
+            };
+            b.iter(|| {
+                black_box(
+                    RahtmMapper::new(cfg.clone()).map(&machine, &graph, Some(spec.grid.clone())),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_vs_anneal(c: &mut Criterion) {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let spec = Benchmark::Sp.spec(64);
+    let graph = spec.comm_graph();
+    let mut group = c.benchmark_group("pipeline/subproblem_solver");
+    group.sample_size(10);
+    for (name, milp) in [("anneal_only", false), ("anneal_plus_milp", true)] {
+        group.bench_function(name, |b| {
+            let cfg = RahtmConfig {
+                use_milp: milp,
+                milp_node_budget: 25,
+                ..RahtmConfig::fast()
+            };
+            b.iter(|| {
+                black_box(
+                    RahtmMapper::new(cfg.clone()).map(&machine, &graph, Some(spec.grid.clone())),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tiling_search,
+    bench_full_pipeline_micro,
+    bench_cache_ablation,
+    bench_milp_vs_anneal
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for the harness output.
+
+/// Renders rows as a fixed-width table with a header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a ratio as a signed percent change ("-12.3%").
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats seconds human-readably.
+pub fn secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1000.0)
+    } else if s < 120.0 {
+        format!("{s:.1} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.9), "-10.0%");
+        assert_eq!(pct(1.05), "+5.0%");
+    }
+
+    #[test]
+    fn secs_format() {
+        assert_eq!(secs(0.5), "500 ms");
+        assert_eq!(secs(65.0), "65.0 s");
+        assert_eq!(secs(600.0), "10.0 min");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,475 @@
+//! Branch-and-bound mixed-integer solver over the simplex relaxation.
+//!
+//! Depth-first traversal (good incumbents early, bounded memory) with
+//! best-bound pruning, most-fractional branching, and the nearest-integer
+//! child explored first. The node budget is deterministic — RAHTM never
+//! consults wall clocks inside algorithms — and an exhausted budget returns
+//! the best incumbent with [`MilpStatus::Feasible`], mirroring how the
+//! paper's authors would run CPLEX with a limit on hard instances.
+//!
+//! RAHTM seeds the search with a simulated-annealing incumbent
+//! (`initial_incumbent`), which both prunes aggressively and guarantees a
+//! usable mapping even at tiny budgets.
+
+use crate::problem::Problem;
+use crate::simplex::{solve_lp, LpStatus, SimplexOptions};
+
+/// Termination status of a MILP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Incumbent proven optimal.
+    Optimal,
+    /// Budget exhausted; incumbent available but not proven optimal.
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// Budget exhausted with no incumbent found.
+    Unknown,
+}
+
+/// Result of a MILP solve.
+#[derive(Clone, Debug)]
+pub struct MilpResult {
+    /// Termination status.
+    pub status: MilpStatus,
+    /// Best objective found (minimization; `NAN` if no incumbent).
+    pub objective: f64,
+    /// Best solution found (empty if no incumbent).
+    pub x: Vec<f64>,
+    /// Branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// Best lower bound on the optimum at termination (−∞ if unknown).
+    pub best_bound: f64,
+}
+
+/// Solver knobs.
+#[derive(Clone, Debug)]
+pub struct MilpOptions {
+    /// LP sub-solver options.
+    pub lp: SimplexOptions,
+    /// Node budget.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Relative optimality gap at which to stop.
+    pub rel_gap: f64,
+    /// Optional warm incumbent: a feasible integral point.
+    pub initial_incumbent: Option<Vec<f64>>,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            lp: SimplexOptions::default(),
+            max_nodes: 10_000,
+            int_tol: 1e-6,
+            rel_gap: 1e-9,
+            initial_incumbent: None,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Node {
+    /// (col index, lower, upper) overrides accumulated from the root.
+    overrides: Vec<(usize, f64, f64)>,
+    /// LP bound inherited from the parent (for pruning before solving).
+    parent_bound: f64,
+}
+
+/// Solves the mixed-integer problem `p` by branch and bound.
+///
+/// # Panics
+/// Panics if a provided incumbent is not feasible/integral for `p`.
+pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
+    let mut work = p.clone();
+    let int_cols: Vec<usize> = p.integer_cols().iter().map(|c| c.index()).collect();
+
+    let mut best_x: Option<Vec<f64>> = None;
+    let mut best_obj = f64::INFINITY;
+    if let Some(inc) = &opts.initial_incumbent {
+        assert!(
+            p.is_feasible(inc, 1e-6) && p.is_integral(inc, 1e-6),
+            "warm incumbent is not feasible/integral"
+        );
+        best_obj = p.objective_value(inc);
+        best_x = Some(inc.clone());
+    }
+
+    let mut stack = vec![Node {
+        overrides: Vec::new(),
+        parent_bound: f64::NEG_INFINITY,
+    }];
+    let mut nodes = 0usize;
+    let mut open_bounds: Vec<f64> = Vec::new(); // bounds of pruned-by-budget subtrees
+    let mut exhausted = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            exhausted = true;
+            open_bounds.push(node.parent_bound);
+            continue; // drain remaining stack into open_bounds
+        }
+        // Bound pruning against incumbent.
+        if node.parent_bound >= best_obj - gap_slack(best_obj, opts.rel_gap) {
+            continue;
+        }
+        nodes += 1;
+        // Apply bound overrides.
+        let saved: Vec<(usize, f64, f64)> = node
+            .overrides
+            .iter()
+            .map(|&(j, _, _)| (j, work.lower[j], work.upper[j]))
+            .collect();
+        for &(j, lo, hi) in &node.overrides {
+            work.lower[j] = lo;
+            work.upper[j] = hi;
+        }
+        let sol = solve_lp(&work, &opts.lp);
+        // Restore bounds.
+        for &(j, lo, hi) in saved.iter().rev() {
+            work.lower[j] = lo;
+            work.upper[j] = hi;
+        }
+
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // With bounded integers this means the continuous part is
+                // unbounded: no meaningful incumbent can bound it; report
+                // as unknown by treating like an open node.
+                open_bounds.push(f64::NEG_INFINITY);
+                exhausted = true;
+                continue;
+            }
+            LpStatus::IterLimit => {
+                open_bounds.push(node.parent_bound);
+                exhausted = true;
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        let bound = sol.objective;
+        if bound >= best_obj - gap_slack(best_obj, opts.rel_gap) {
+            continue;
+        }
+        // Find most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = opts.int_tol;
+        for &j in &int_cols {
+            let v = sol.x[j];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((j, v));
+            }
+        }
+        match branch {
+            None => {
+                // Integral: new incumbent.
+                let mut x = sol.x.clone();
+                for &j in &int_cols {
+                    x[j] = x[j].round();
+                }
+                let obj = p.objective_value(&x);
+                if obj < best_obj && p.is_feasible(&x, 1e-5) {
+                    best_obj = obj;
+                    best_x = Some(x);
+                }
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                let lo_child = {
+                    let mut ov = node.overrides.clone();
+                    ov.push((j, work.lower[j].max(f64::NEG_INFINITY), floor));
+                    // ensure the interval stays sane given earlier overrides
+                    fix_override(&mut ov, j);
+                    Node {
+                        overrides: ov,
+                        parent_bound: bound,
+                    }
+                };
+                let hi_child = {
+                    let mut ov = node.overrides.clone();
+                    ov.push((j, floor + 1.0, work.upper[j].min(f64::INFINITY)));
+                    fix_override(&mut ov, j);
+                    Node {
+                        overrides: ov,
+                        parent_bound: bound,
+                    }
+                };
+                // explore nearest-integer child first (pushed last)
+                if v - floor <= 0.5 {
+                    stack.push(hi_child);
+                    stack.push(lo_child);
+                } else {
+                    stack.push(lo_child);
+                    stack.push(hi_child);
+                }
+            }
+        }
+    }
+
+    let open_min = open_bounds
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let best_bound = if exhausted {
+        open_min.min(best_obj)
+    } else {
+        best_obj
+    };
+    match best_x {
+        Some(x) => MilpResult {
+            status: if exhausted && best_bound < best_obj - gap_slack(best_obj, opts.rel_gap) {
+                MilpStatus::Feasible
+            } else {
+                MilpStatus::Optimal
+            },
+            objective: best_obj,
+            x,
+            nodes,
+            best_bound,
+        },
+        None => MilpResult {
+            status: if exhausted {
+                MilpStatus::Unknown
+            } else {
+                MilpStatus::Infeasible
+            },
+            objective: f64::NAN,
+            x: Vec::new(),
+            nodes,
+            best_bound,
+        },
+    }
+}
+
+/// Absolute slack corresponding to the relative gap.
+fn gap_slack(best_obj: f64, rel_gap: f64) -> f64 {
+    if best_obj.is_finite() {
+        rel_gap * best_obj.abs().max(1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Collapse repeated overrides of the same column into their intersection
+/// (keeps the override list minimal and the interval consistent).
+fn fix_override(ov: &mut Vec<(usize, f64, f64)>, j: usize) {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for &(c, l, h) in ov.iter() {
+        if c == j {
+            lo = lo.max(l);
+            hi = hi.min(h);
+        }
+    }
+    ov.retain(|&(c, _, _)| c != j);
+    // An empty interval marks an infeasible child; encode as crossing
+    // bounds which the LP will report infeasible via lower>upper guard —
+    // instead clamp to an impossible but valid pair handled by simplex as
+    // infeasible row-free: use [lo, hi] swapped is invalid, so detect here.
+    if lo > hi {
+        // Encode infeasibility as a fixed variable outside any row's reach:
+        // an empty interval cannot be represented; use equal bounds at lo
+        // and rely on LP infeasibility *if* lo violates rows. Safer: mark
+        // via a sentinel pair that keeps lo<=hi but is empty in integers.
+        // In practice branching always produces non-crossing intervals for
+        // integer variables (floor < ceil), so this is unreachable.
+        unreachable!("branching produced an empty interval");
+    }
+    ov.push((j, lo, hi));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_3_items() {
+        // max 5a + 4b + 3c st 2a + 3b + c <= 5, binary -> optimum 9 (a,b)
+        let mut p = Problem::new();
+        let a = p.add_bin_col("a", -5.0);
+        let b = p.add_bin_col("b", -4.0);
+        let c = p.add_bin_col("c", -3.0);
+        p.add_row(Sense::Le, 5.0, &[(a, 2.0), (b, 3.0), (c, 1.0)]);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective, -9.0);
+        assert_close(r.x[0], 1.0);
+        assert_close(r.x[1], 1.0);
+        assert_close(r.x[2], 0.0);
+    }
+
+    #[test]
+    fn integrality_changes_optimum() {
+        // max x st 2x <= 3: LP gives 1.5, ILP gives 1
+        let mut p = Problem::new();
+        let x = p.add_int_col("x", 0.0, 10.0, -1.0);
+        p.add_row(Sense::Le, 3.0, &[(x, 2.0)]);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective, -1.0);
+        assert_close(r.x[0], 1.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut p = Problem::new();
+        let x = p.add_bin_col("x", 1.0);
+        let y = p.add_bin_col("y", 1.0);
+        p.add_row(Sense::Ge, 3.0, &[(x, 1.0), (y, 1.0)]);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -y - 0.5 x st y <= 2.5 (y int), x <= y, x cont in [0, 10]
+        // y = 2, x = 2 -> obj = -3
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, 10.0, -0.5);
+        let y = p.add_int_col("y", 0.0, 10.0, -1.0);
+        p.add_row(Sense::Le, 2.5, &[(y, 1.0)]);
+        p.add_row(Sense::Le, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.x[1], 2.0);
+        assert_close(r.objective, -3.0);
+    }
+
+    /// 3x3 assignment problem cross-checked against brute force.
+    #[test]
+    fn assignment_3x3_matches_bruteforce() {
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut p = Problem::new();
+        let mut cols = Vec::new();
+        for (i, row) in cost.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                cols.push(p.add_bin_col(&format!("x{i}{j}"), c));
+            }
+        }
+        for i in 0..3 {
+            let coeffs: Vec<_> = (0..3).map(|j| (cols[i * 3 + j], 1.0)).collect();
+            p.add_row(Sense::Eq, 1.0, &coeffs);
+        }
+        for j in 0..3 {
+            let coeffs: Vec<_> = (0..3).map(|i| (cols[i * 3 + j], 1.0)).collect();
+            p.add_row(Sense::Eq, 1.0, &coeffs);
+        }
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        // brute force over 6 permutations
+        let mut best = f64::INFINITY;
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for perm in perms {
+            let v: f64 = (0..3).map(|i| cost[i][perm[i]]).sum();
+            best = best.min(v);
+        }
+        assert_close(r.objective, best);
+    }
+
+    #[test]
+    fn warm_incumbent_accepted_and_never_worse() {
+        let mut p = Problem::new();
+        let a = p.add_bin_col("a", -5.0);
+        let b = p.add_bin_col("b", -4.0);
+        p.add_row(Sense::Le, 4.0, &[(a, 2.0), (b, 3.0)]);
+        // feasible incumbent: a=1, b=0 (obj -5); optimum is a=0,b=1? obj -4;
+        // actually a=1,b=0 (2<=4, -5) vs a=0,b=1 (-4) vs a=1,b=1 (5>4 infeasible)
+        let opts = MilpOptions {
+            initial_incumbent: Some(vec![1.0, 0.0]),
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective, -5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bogus_incumbent_rejected() {
+        let mut p = Problem::new();
+        let a = p.add_bin_col("a", -5.0);
+        p.add_row(Sense::Le, 0.0, &[(a, 1.0)]);
+        let opts = MilpOptions {
+            initial_incumbent: Some(vec![1.0]),
+            ..Default::default()
+        };
+        solve_milp(&p, &opts);
+    }
+
+    #[test]
+    fn node_budget_returns_incumbent() {
+        // A problem needing several nodes; budget 1 returns Feasible or
+        // Unknown, never panics.
+        let mut p = Problem::new();
+        let cols: Vec<_> = (0..6).map(|i| p.add_bin_col(&format!("x{i}"), -1.0)).collect();
+        let coeffs: Vec<_> = cols.iter().map(|&c| (c, 1.5)).collect();
+        p.add_row(Sense::Le, 4.0, &coeffs);
+        let opts = MilpOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert!(matches!(r.status, MilpStatus::Feasible | MilpStatus::Unknown | MilpStatus::Optimal));
+        let full = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(full.status, MilpStatus::Optimal);
+        assert_close(full.objective, -2.0); // floor(4/1.5) = 2 items
+    }
+
+    #[test]
+    fn random_binary_problems_match_bruteforce() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..7usize);
+            let m = rng.gen_range(1..5usize);
+            let mut p = Problem::new();
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let cols: Vec<_> = obj
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| p.add_bin_col(&format!("x{i}"), c))
+                .collect();
+            let mut rows = Vec::new();
+            for _ in 0..m {
+                let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+                let rhs = rng.gen_range(-2.0..4.0);
+                let cc: Vec<_> = cols.iter().zip(&coeffs).map(|(&c, &a)| (c, a)).collect();
+                p.add_row(Sense::Le, rhs, &cc);
+                rows.push((coeffs, rhs));
+            }
+            // brute force
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << n) {
+                let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+                let feas = rows
+                    .iter()
+                    .all(|(c, rhs)| c.iter().zip(&x).map(|(a, v)| a * v).sum::<f64>() <= rhs + 1e-9);
+                if feas {
+                    let v: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+                    best = best.min(v);
+                }
+            }
+            let r = solve_milp(&p, &MilpOptions::default());
+            if best.is_finite() {
+                assert_eq!(r.status, MilpStatus::Optimal, "trial {trial}");
+                assert!(
+                    (r.objective - best).abs() < 1e-5,
+                    "trial {trial}: milp {} vs brute {best}",
+                    r.objective
+                );
+            } else {
+                assert_eq!(r.status, MilpStatus::Infeasible, "trial {trial}");
+            }
+        }
+    }
+}

@@ -1,0 +1,935 @@
+//! Two-phase bounded-variable revised primal simplex.
+//!
+//! The solver keeps an explicit dense basis inverse `B⁻¹` (updated by
+//! elementary row operations each pivot, refactorized periodically by
+//! Gauss–Jordan for numerical hygiene). Constraint rows receive one slack
+//! each; phase 1 adds signed artificial variables and minimizes their sum.
+//! Pricing is Dantzig (most negative reduced cost) with an automatic
+//! switch to Bland's rule after a run of degenerate pivots, which
+//! guarantees termination.
+//!
+//! This is a deliberately transparent implementation sized for RAHTM's
+//! sub-cube MILPs (hundreds to a few thousand rows) rather than a
+//! general-purpose sparse-LU code; see the crate docs for the scoping
+//! rationale.
+
+use crate::problem::{Problem, Sense};
+
+/// Termination status of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Iteration budget exhausted before convergence.
+    IterLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value (meaningful for `Optimal`; best-known for
+    /// `IterLimit` if feasible).
+    pub objective: f64,
+    /// Structural variable values (empty unless `Optimal` or `IterLimit`
+    /// with a feasible basis).
+    pub x: Vec<f64>,
+    /// Simplex iterations performed (both phases).
+    pub iterations: usize,
+}
+
+/// Solver knobs.
+#[derive(Clone, Debug)]
+pub struct SimplexOptions {
+    /// Pivot budget across both phases.
+    pub max_iters: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost (dual) tolerance.
+    pub cost_tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iters: 100_000,
+            feas_tol: 1e-7,
+            cost_tol: 1e-9,
+            refactor_every: 500,
+        }
+    }
+}
+
+/// Solves the continuous relaxation of `p` (integrality flags ignored).
+pub fn solve_lp(p: &Problem, opts: &SimplexOptions) -> Solution {
+    Tableau::build(p).solve(opts, p)
+}
+
+const NONBASIC: u32 = u32::MAX;
+
+struct Tableau {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    /// Column-wise sparse matrix including slacks and artificials.
+    cols: Vec<Vec<(usize, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 (true) costs.
+    cost: Vec<f64>,
+    rhs: Vec<f64>,
+    /// basis[r] = column occupying row r.
+    basis: Vec<usize>,
+    /// basis_row[j] = row of basic column j, or NONBASIC.
+    basis_row: Vec<u32>,
+    /// For nonbasic columns: resting at upper bound?
+    at_upper: Vec<bool>,
+    /// Values of basic variables, by row.
+    beta: Vec<f64>,
+    /// Dense row-major basis inverse.
+    binv: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Tableau {
+        let m = p.num_rows();
+        let n_struct = p.num_cols();
+        let n_total = n_struct + 2 * m; // slacks + artificials
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_total];
+        for (r, row) in p.rows.iter().enumerate() {
+            for &(j, a) in &row.coeffs {
+                cols[j].push((r, a));
+            }
+        }
+        let mut lower = p.lower.clone();
+        let mut upper = p.upper.clone();
+        let mut cost = p.obj.clone();
+        let mut rhs = Vec::with_capacity(m);
+        // slacks
+        for (r, row) in p.rows.iter().enumerate() {
+            let j = n_struct + r;
+            cols[j].push((r, 1.0));
+            let (lo, hi) = match row.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Eq => (0.0, 0.0),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+            };
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(0.0);
+            rhs.push(row.rhs);
+        }
+        // artificials (coefficients signed later, in `reset_phase1`)
+        for r in 0..m {
+            let j = n_struct + m + r;
+            cols[j].push((r, 1.0)); // placeholder; sign fixed in reset
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            cost.push(0.0);
+        }
+        Tableau {
+            m,
+            n_struct,
+            n_total,
+            cols,
+            lower,
+            upper,
+            cost,
+            rhs,
+            basis: Vec::new(),
+            basis_row: vec![NONBASIC; n_total],
+            at_upper: vec![false; n_total],
+            beta: Vec::new(),
+            binv: Vec::new(),
+        }
+    }
+
+    /// Resting value of a nonbasic column.
+    #[inline]
+    fn nb_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] {
+            self.upper[j]
+        } else if self.lower[j].is_finite() {
+            self.lower[j]
+        } else if self.upper[j].is_finite() {
+            self.upper[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets initial nonbasic rest positions and installs the artificial
+    /// basis sized to absorb each row's residual.
+    fn reset_phase1(&mut self) {
+        let m = self.m;
+        for j in 0..self.n_total {
+            self.basis_row[j] = NONBASIC;
+            self.at_upper[j] = !self.lower[j].is_finite() && self.upper[j].is_finite();
+        }
+        // residual r_i = rhs_i - sum_j a_ij * nb_value(j) over non-artificials
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n_struct + m {
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        self.basis = Vec::with_capacity(m);
+        self.beta = vec![0.0; m];
+        self.binv = vec![0.0; m * m];
+        for r in 0..m {
+            let j = self.n_struct + m + r;
+            let sign = if resid[r] >= 0.0 { 1.0 } else { -1.0 };
+            self.cols[j] = vec![(r, sign)];
+            self.basis.push(j);
+            self.basis_row[j] = r as u32;
+            self.beta[r] = resid[r].abs();
+            self.binv[r * m + r] = sign;
+        }
+    }
+
+    /// FTRAN: w = B⁻¹ · A_j.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        let m = self.m;
+        w.iter_mut().for_each(|x| *x = 0.0);
+        for &(r, a) in &self.cols[j] {
+            let col = r; // A_j has entry a at row r; w += a * binv[:, r]
+            for (k, wk) in w.iter_mut().enumerate() {
+                *wk += a * self.binv[k * m + col];
+            }
+        }
+    }
+
+    /// y = c_Bᵀ · B⁻¹ for the given cost vector.
+    fn duals(&self, cost: &[f64], y: &mut [f64]) {
+        let m = self.m;
+        y.iter_mut().for_each(|x| *x = 0.0);
+        for (k, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb != 0.0 {
+                let row = &self.binv[k * m..(k + 1) * m];
+                for (yi, &bv) in y.iter_mut().zip(row) {
+                    *yi += cb * bv;
+                }
+            }
+        }
+    }
+
+    /// Reduced cost of nonbasic column j.
+    #[inline]
+    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(r, a) in &self.cols[j] {
+            d -= y[r] * a;
+        }
+        d
+    }
+
+    /// Rebuilds B⁻¹ by Gauss–Jordan elimination and recomputes beta.
+    /// Returns false if the basis matrix is numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        if m == 0 {
+            return true;
+        }
+        // Build dense B and identity side-by-side.
+        let mut b = vec![0.0f64; m * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(r, a) in &self.cols[j] {
+                b[r * m + k] = a;
+            }
+        }
+        let mut inv = vec![0.0f64; m * m];
+        for k in 0..m {
+            inv[k * m + k] = 1.0;
+        }
+        for col in 0..m {
+            // partial pivot
+            let mut piv = col;
+            let mut best = b[col * m + col].abs();
+            for r in col + 1..m {
+                let v = b[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..m {
+                    b.swap(piv * m + c, col * m + c);
+                    inv.swap(piv * m + c, col * m + c);
+                }
+            }
+            let d = b[col * m + col];
+            for c in 0..m {
+                b[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = b[r * m + col];
+                    if f != 0.0 {
+                        for c in 0..m {
+                            b[r * m + c] -= f * b[col * m + c];
+                            inv[r * m + c] -= f * inv[col * m + c];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_beta();
+        true
+    }
+
+    /// beta = B⁻¹ (rhs − A_N x_N).
+    fn recompute_beta(&mut self) {
+        let m = self.m;
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n_total {
+            if self.basis_row[j] == NONBASIC {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    for &(r, a) in &self.cols[j] {
+                        resid[r] -= a * v;
+                    }
+                }
+            }
+        }
+        for k in 0..m {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += self.binv[k * m + r] * resid[r];
+            }
+            self.beta[k] = s;
+        }
+    }
+
+    /// Runs simplex iterations with the given cost vector until optimal /
+    /// unbounded / out of budget. Returns (status, iterations used).
+    fn iterate(
+        &mut self,
+        cost: &[f64],
+        opts: &SimplexOptions,
+        budget: usize,
+        allow_artificials: bool,
+    ) -> (LpStatus, usize) {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut iters = 0usize;
+        let mut degen_run = 0usize;
+        let mut bland = false;
+        let art_start = self.n_struct + m;
+        while iters < budget {
+            if iters > 0 && opts.refactor_every > 0 && iters.is_multiple_of(opts.refactor_every) {
+                self.refactorize();
+            }
+            self.duals(cost, &mut y);
+            // pricing
+            let mut enter: Option<(usize, f64, i32)> = None; // (col, |d|, dir)
+            for j in 0..self.n_total {
+                if self.basis_row[j] != NONBASIC {
+                    continue;
+                }
+                if !allow_artificials && j >= art_start {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] {
+                    continue; // fixed
+                }
+                let d = self.reduced_cost(cost, &y, j);
+                let at_up = self.at_upper[j];
+                let free = !self.lower[j].is_finite() && !self.upper[j].is_finite();
+                // increasing improves if d < -tol and we're not at upper;
+                // decreasing improves if d > tol and we're not at lower.
+                let mut cand: Option<i32> = None;
+                if d < -opts.cost_tol && (!at_up || free) {
+                    cand = Some(1);
+                } else if d > opts.cost_tol && (at_up || free) {
+                    cand = Some(-1);
+                }
+                if let Some(dir) = cand {
+                    let score = d.abs();
+                    let better = match &enter {
+                        None => true,
+                        Some((bj, bs, _)) => {
+                            if bland {
+                                j < *bj
+                            } else {
+                                score > *bs
+                            }
+                        }
+                    };
+                    if better {
+                        enter = Some((j, score, dir));
+                        if bland {
+                            // first eligible smallest index: can stop early
+                        }
+                    }
+                }
+            }
+            let Some((j, _, dir)) = enter else {
+                return (LpStatus::Optimal, iters);
+            };
+            let delta = dir as f64;
+            self.ftran(j, &mut w);
+            // ratio test: basic k moves by -delta * t * w_k
+            let mut t_best = f64::INFINITY;
+            let mut leave: Option<usize> = None; // row index
+            for k in 0..m {
+                let g = delta * w[k];
+                if g > opts.feas_tol {
+                    let lb = self.lower[self.basis[k]];
+                    if lb.is_finite() {
+                        let t = (self.beta[k] - lb) / g;
+                        if t < t_best - opts.feas_tol
+                            || (t < t_best + opts.feas_tol && better_leave(self, leave, k, &w, bland))
+                        {
+                            t_best = t.max(0.0);
+                            leave = Some(k);
+                        }
+                    }
+                } else if g < -opts.feas_tol {
+                    let ub = self.upper[self.basis[k]];
+                    if ub.is_finite() {
+                        let t = (ub - self.beta[k]) / (-g);
+                        if t < t_best - opts.feas_tol
+                            || (t < t_best + opts.feas_tol && better_leave(self, leave, k, &w, bland))
+                        {
+                            t_best = t.max(0.0);
+                            leave = Some(k);
+                        }
+                    }
+                }
+            }
+            // bound-flip limit for the entering variable
+            let span = self.upper[j] - self.lower[j];
+            let flip_limit = if span.is_finite() { span } else { f64::INFINITY };
+            if flip_limit <= t_best {
+                if !flip_limit.is_finite() {
+                    return (LpStatus::Unbounded, iters);
+                }
+                // flip j to its other bound
+                let t = flip_limit;
+                for k in 0..m {
+                    self.beta[k] -= delta * t * w[k];
+                }
+                self.at_upper[j] = delta > 0.0;
+                iters += 1;
+                continue;
+            }
+            let Some(r) = leave else {
+                return (LpStatus::Unbounded, iters);
+            };
+            let t = t_best;
+            if t <= opts.feas_tol {
+                degen_run += 1;
+                if degen_run > 100 + 2 * m {
+                    bland = true;
+                }
+            } else {
+                degen_run = 0;
+            }
+            // leaving variable hits which bound?
+            let leaving = self.basis[r];
+            let leaving_to_upper = delta * w[r] < 0.0;
+            // update beta
+            for k in 0..m {
+                self.beta[k] -= delta * t * w[k];
+            }
+            let enter_val = self.nb_value(j) + delta * t;
+            // pivot binv
+            let wr = w[r];
+            debug_assert!(wr.abs() > 1e-12, "zero pivot");
+            {
+                let (head, tail) = self.binv.split_at_mut(r * m);
+                let (prow, rest) = tail.split_at_mut(m);
+                for x in prow.iter_mut() {
+                    *x /= wr;
+                }
+                for (k, chunk) in head.chunks_mut(m).enumerate() {
+                    let f = w[k];
+                    if f != 0.0 {
+                        for (c, x) in chunk.iter_mut().enumerate() {
+                            *x -= f * prow[c];
+                        }
+                    }
+                }
+                for (off, chunk) in rest.chunks_mut(m).enumerate() {
+                    let f = w[r + 1 + off];
+                    if f != 0.0 {
+                        for (c, x) in chunk.iter_mut().enumerate() {
+                            *x -= f * prow[c];
+                        }
+                    }
+                }
+            }
+            // bookkeeping
+            self.basis[r] = j;
+            self.basis_row[j] = r as u32;
+            self.basis_row[leaving] = NONBASIC;
+            self.at_upper[leaving] = leaving_to_upper;
+            self.beta[r] = enter_val;
+            iters += 1;
+        }
+        (LpStatus::IterLimit, iters)
+    }
+
+    fn solve(mut self, opts: &SimplexOptions, p: &Problem) -> Solution {
+        let m = self.m;
+        // Trivial no-constraint case: each variable to its cheapest bound.
+        if m == 0 {
+            let mut x = vec![0.0; self.n_struct];
+            for j in 0..self.n_struct {
+                let c = self.cost[j];
+                x[j] = if c > 0.0 {
+                    if self.lower[j].is_finite() {
+                        self.lower[j]
+                    } else {
+                        return unbounded(0);
+                    }
+                } else if c < 0.0 {
+                    if self.upper[j].is_finite() {
+                        self.upper[j]
+                    } else {
+                        return unbounded(0);
+                    }
+                } else {
+                    self.nb_value(j)
+                };
+            }
+            let obj = p.objective_value(&x);
+            return Solution {
+                status: LpStatus::Optimal,
+                objective: obj,
+                x,
+                iterations: 0,
+            };
+        }
+        self.reset_phase1();
+        // Phase 1: minimize sum of artificials.
+        let mut phase1_cost = vec![0.0; self.n_total];
+        for j in self.n_struct + m..self.n_total {
+            phase1_cost[j] = 1.0;
+        }
+        let (s1, it1) = self.iterate(&phase1_cost, opts, opts.max_iters, true);
+        let infeas: f64 = self
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &j)| j >= self.n_struct + m)
+            .map(|(k, _)| self.beta[k].max(0.0))
+            .sum();
+        if s1 == LpStatus::IterLimit {
+            return Solution {
+                status: LpStatus::IterLimit,
+                objective: f64::NAN,
+                x: Vec::new(),
+                iterations: it1,
+            };
+        }
+        if infeas > 1e-6 {
+            return Solution {
+                status: LpStatus::Infeasible,
+                objective: f64::NAN,
+                x: Vec::new(),
+                iterations: it1,
+            };
+        }
+        // Freeze artificials at zero so they never re-enter.
+        for j in self.n_struct + m..self.n_total {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if self.basis_row[j] == NONBASIC {
+                self.at_upper[j] = false;
+            }
+        }
+        // Phase 2.
+        let cost = self.cost.clone();
+        let (s2, it2) = self.iterate(&cost, opts, opts.max_iters.saturating_sub(it1), false);
+        let x = self.extract(p);
+        let obj = p.objective_value(&x);
+        Solution {
+            status: s2,
+            objective: obj,
+            x,
+            iterations: it1 + it2,
+        }
+    }
+
+    fn extract(&self, p: &Problem) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_struct];
+        for (j, xv) in x.iter_mut().enumerate() {
+            *xv = if self.basis_row[j] != NONBASIC {
+                self.beta[self.basis_row[j] as usize]
+            } else {
+                self.nb_value(j)
+            };
+            // Clamp tiny numerical spill back into bounds.
+            *xv = xv.max(p.lower[j]).min(p.upper[j]);
+        }
+        x
+    }
+}
+
+fn unbounded(iters: usize) -> Solution {
+    Solution {
+        status: LpStatus::Unbounded,
+        objective: f64::NEG_INFINITY,
+        x: Vec::new(),
+        iterations: iters,
+    }
+}
+
+/// Tie-breaking for the leaving row: prefer larger |w_r| for stability, or
+/// smallest basis column under Bland's rule.
+fn better_leave(t: &Tableau, cur: Option<usize>, cand: usize, w: &[f64], bland: bool) -> bool {
+    match cur {
+        None => true,
+        Some(c) => {
+            if bland {
+                t.basis[cand] < t.basis[c]
+            } else {
+                w[cand].abs() > w[c].abs()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_2d_max() {
+        // max x + y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+        // -> min -x - y; optimum at intersection (8/5, 6/5), obj 14/5
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, -1.0);
+        p.add_row(Sense::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
+        p.add_row(Sense::Le, 6.0, &[(x, 3.0), (y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -14.0 / 5.0);
+        assert_close(s.x[0], 8.0 / 5.0);
+        assert_close(s.x[1], 6.0 / 5.0);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn equality_rows() {
+        // min x + y st x + y = 2, x - y = 0 -> x=y=1
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, 1.0);
+        p.add_row(Sense::Eq, 2.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(Sense::Eq, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, 1.0, 1.0);
+        p.add_row(Sense::Ge, 5.0, &[(x, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, 0.0);
+        p.add_row(Sense::Ge, 0.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variables_optimum_at_bounds() {
+        // min -x - 2y with 0<=x<=3, 0<=y<=2, x + y <= 4 -> x=2,y=2
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, 3.0, -1.0);
+        let y = p.add_col("y", 0.0, 2.0, -2.0);
+        p.add_row(Sense::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[1], 2.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.objective, -6.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x >= -5 (free-ish), x + y = 0, y <= 2 -> x = -2
+        let mut p = Problem::new();
+        let x = p.add_col("x", -5.0, f64::INFINITY, 1.0);
+        let y = p.add_col("y", f64::NEG_INFINITY, 2.0, 0.0);
+        p.add_row(Sense::Eq, 0.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], -2.0);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min |style| problem: min z st z >= x - 3, z >= 3 - x, x free
+        // optimum z = 0 at x = 3
+        let mut p = Problem::new();
+        let x = p.add_col("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let z = p.add_col("z", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_row(Sense::Ge, -3.0, &[(z, 1.0), (x, -1.0)]);
+        p.add_row(Sense::Ge, 3.0, &[(z, 1.0), (x, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn no_constraints_bound_optimum() {
+        let mut p = Problem::new();
+        let _x = p.add_col("x", -1.0, 5.0, 2.0);
+        let _y = p.add_col("y", -3.0, 4.0, -1.0);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -2.0 + -4.0);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut p = Problem::new();
+        p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-like / heavily degenerate: many redundant rows
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, -1.0);
+        for _ in 0..10 {
+            p.add_row(Sense::Le, 1.0, &[(x, 1.0), (y, 1.0)]);
+        }
+        p.add_row(Sense::Le, 1.0, &[(x, 1.0)]);
+        p.add_row(Sense::Le, 1.0, &[(y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -1.0);
+    }
+
+    /// min-cost single path: LP value of a shortest-path flow LP equals the
+    /// graph shortest path (total unimodularity), cross-checked against a
+    /// hand Dijkstra.
+    #[test]
+    fn shortest_path_lp_matches_dijkstra() {
+        // graph: 0->1 (1), 0->2 (4), 1->2 (2), 1->3 (6), 2->3 (3)
+        // shortest 0->3 = 1 + 2 + 3 = 6
+        let edges = [(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 6.0), (2, 3, 3.0)];
+        let n = 4;
+        let mut p = Problem::new();
+        let cols: Vec<_> = edges
+            .iter()
+            .map(|&(u, v, c)| p.add_col(&format!("e{u}{v}"), 0.0, f64::INFINITY, c))
+            .collect();
+        for node in 0..n {
+            let mut coeffs = Vec::new();
+            for (i, &(u, v, _)) in edges.iter().enumerate() {
+                if u == node {
+                    coeffs.push((cols[i], 1.0));
+                }
+                if v == node {
+                    coeffs.push((cols[i], -1.0));
+                }
+            }
+            let rhs = match node {
+                0 => 1.0,
+                3 => -1.0,
+                _ => 0.0,
+            };
+            p.add_row(Sense::Eq, rhs, &coeffs);
+        }
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 6.0);
+    }
+
+    /// Transportation problem with a known optimum.
+    #[test]
+    fn transportation_problem() {
+        // 2 supplies (10, 20), 2 demands (15, 15)
+        // costs: c[0][0]=1, c[0][1]=4, c[1][0]=2, c[1][1]=1
+        // optimum: s0->d0 10, s1->d0 5, s1->d1 15 => 10 + 10 + 15 = 35
+        let mut p = Problem::new();
+        let x00 = p.add_col("x00", 0.0, f64::INFINITY, 1.0);
+        let x01 = p.add_col("x01", 0.0, f64::INFINITY, 4.0);
+        let x10 = p.add_col("x10", 0.0, f64::INFINITY, 2.0);
+        let x11 = p.add_col("x11", 0.0, f64::INFINITY, 1.0);
+        p.add_row(Sense::Eq, 10.0, &[(x00, 1.0), (x01, 1.0)]);
+        p.add_row(Sense::Eq, 20.0, &[(x10, 1.0), (x11, 1.0)]);
+        p.add_row(Sense::Eq, 15.0, &[(x00, 1.0), (x10, 1.0)]);
+        p.add_row(Sense::Eq, 15.0, &[(x01, 1.0), (x11, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 35.0);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    /// A min-max (MCL-style) LP: route 2 units across two parallel links to
+    /// minimize the max link load -> split 1/1.
+    #[test]
+    fn min_max_load_splits() {
+        let mut p = Problem::new();
+        let f1 = p.add_col("f1", 0.0, f64::INFINITY, 0.0);
+        let f2 = p.add_col("f2", 0.0, f64::INFINITY, 0.0);
+        let z = p.add_col("z", 0.0, f64::INFINITY, 1.0);
+        p.add_row(Sense::Eq, 2.0, &[(f1, 1.0), (f2, 1.0)]);
+        p.add_row(Sense::Le, 0.0, &[(f1, 1.0), (z, -1.0)]);
+        p.add_row(Sense::Le, 0.0, &[(f2, 1.0), (z, -1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut p = Problem::new();
+        let x = p.add_col("x", 2.0, 2.0, 1.0);
+        let y = p.add_col("y", 0.0, 10.0, 1.0);
+        p.add_row(Sense::Ge, 5.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn aggressive_refactorization_changes_nothing() {
+        // refactorize after every pivot: slower but must agree exactly
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, -2.0);
+        let z = p.add_col("z", 0.0, f64::INFINITY, -1.5);
+        p.add_row(Sense::Le, 10.0, &[(x, 1.0), (y, 2.0), (z, 1.0)]);
+        p.add_row(Sense::Le, 8.0, &[(x, 2.0), (y, 1.0), (z, 3.0)]);
+        p.add_row(Sense::Le, 6.0, &[(x, 1.0), (y, 1.0), (z, 1.0)]);
+        let normal = solve_lp(&p, &SimplexOptions::default());
+        let refactored = solve_lp(
+            &p,
+            &SimplexOptions {
+                refactor_every: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(normal.status, LpStatus::Optimal);
+        assert_eq!(refactored.status, LpStatus::Optimal);
+        assert_close(normal.objective, refactored.objective);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        // a problem that cannot finish in 1 pivot
+        let mut p = Problem::new();
+        let cols: Vec<_> = (0..10)
+            .map(|i| p.add_col(&format!("x{i}"), 0.0, f64::INFINITY, -1.0))
+            .collect();
+        for w in cols.windows(2) {
+            p.add_row(Sense::Le, 1.0, &[(w[0], 1.0), (w[1], 1.0)]);
+        }
+        let s = solve_lp(
+            &p,
+            &SimplexOptions {
+                max_iters: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.status, LpStatus::IterLimit);
+    }
+
+    #[test]
+    fn equality_only_system_unique_point() {
+        // 3 equations, 3 unknowns, unique solution: simplex must land on it
+        let mut p = Problem::new();
+        let x = p.add_col("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = p.add_col("y", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let z = p.add_col("z", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_row(Sense::Eq, 6.0, &[(x, 1.0), (y, 1.0), (z, 1.0)]);
+        p.add_row(Sense::Eq, 1.0, &[(x, 1.0), (y, -1.0)]);
+        p.add_row(Sense::Eq, 2.0, &[(y, 1.0), (z, -1.0)]);
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        // x - y = 1, y - z = 2, x + y + z = 6 -> y = (6 - 1 + ... solve:
+        // x = y + 1, z = y - 2 => 3y - 1 = 6 => y = 7/3
+        assert_close(s.x[1], 7.0 / 3.0);
+        assert_close(s.x[0], 10.0 / 3.0);
+        assert_close(s.x[2], 1.0 / 3.0);
+    }
+
+    #[test]
+    fn random_lps_feasible_and_dual_sane() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..8);
+            let m = rng.gen_range(1..8);
+            let mut p = Problem::new();
+            // random feasible point within boxes, rows built around it
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let cols: Vec<_> = (0..n)
+                .map(|j| {
+                    p.add_col(&format!("x{j}"), 0.0, 10.0, rng.gen_range(-3.0..3.0))
+                })
+                .collect();
+            for _ in 0..m {
+                let coeffs: Vec<(crate::problem::Col, f64)> = cols
+                    .iter()
+                    .map(|&c| (c, rng.gen_range(-2.0..2.0)))
+                    .collect();
+                let lhs: f64 = coeffs.iter().map(|&(c, a)| a * x0[c.index()]).sum();
+                // keep x0 feasible
+                let slackiness = rng.gen_range(0.0..2.0);
+                if rng.gen_bool(0.5) {
+                    p.add_row(Sense::Le, lhs + slackiness, &coeffs);
+                } else {
+                    p.add_row(Sense::Ge, lhs - slackiness, &coeffs);
+                }
+            }
+            let s = solve_lp(&p, &SimplexOptions::default());
+            assert_eq!(s.status, LpStatus::Optimal, "trial {trial}");
+            assert!(p.is_feasible(&s.x, 1e-5), "trial {trial} infeasible point");
+            // optimum must be at least as good as the known feasible x0
+            assert!(
+                s.objective <= p.objective_value(&x0) + 1e-6,
+                "trial {trial}: {} > {}",
+                s.objective,
+                p.objective_value(&x0)
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Saturation-throughput measurement — the classic network-evaluation
+//! methodology of the channel-load literature the paper builds on
+//! (Towles & Dally's worst-case throughput analysis).
+//!
+//! For a traffic *pattern* (a permutation or any flow set), the maximum
+//! sustainable per-node injection rate is bounded by the most loaded
+//! channel: `θ_sat ≈ link_bw · V_node / MCL(pattern)`. This module
+//! measures delivered throughput in the packet simulator directly (long
+//! phases amortize the injection transient) so the combinatorial MCL
+//! predictions can be validated against simulated delivery — the same
+//! model-vs-measurement argument RAHTM rests on, one level down.
+
+use crate::des::{simulate_phase, DesConfig};
+use rahtm_commgraph::CommGraph;
+use rahtm_topology::{NodeId, Torus};
+
+/// Result of a saturation measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationResult {
+    /// Delivered bytes per microsecond per source node.
+    pub per_node_throughput: f64,
+    /// The same, normalized by a unit link's bandwidth.
+    pub normalized: f64,
+    /// Phase makespan (µs).
+    pub makespan: f64,
+}
+
+/// Measures the saturation throughput of `pattern` placed by `placement`:
+/// every flow carries `bytes_per_flow`, all injected at once, and
+/// delivered throughput is total bytes over makespan divided by the number
+/// of *sending* nodes. Larger `bytes_per_flow` amortizes transients and
+/// approaches the steady-state saturation point.
+///
+/// # Panics
+/// Panics if the pattern has no network traffic under `placement`.
+pub fn saturation_throughput(
+    topo: &Torus,
+    pattern: &CommGraph,
+    placement: &[NodeId],
+    cfg: &DesConfig,
+    bytes_per_flow: f64,
+) -> SaturationResult {
+    let scaled = scale_flows(pattern, bytes_per_flow);
+    let mut senders = std::collections::HashSet::new();
+    let mut total = 0.0f64;
+    for f in scaled.flows() {
+        let (s, d) = (placement[f.src as usize], placement[f.dst as usize]);
+        if s != d {
+            senders.insert(s);
+            total += f.bytes;
+        }
+    }
+    assert!(!senders.is_empty(), "pattern has no network traffic");
+    let r = simulate_phase(topo, &scaled, placement, cfg);
+    let per_node = total / r.makespan / senders.len() as f64;
+    SaturationResult {
+        per_node_throughput: per_node,
+        normalized: per_node / cfg.link_bandwidth,
+        makespan: r.makespan,
+    }
+}
+
+fn scale_flows(pattern: &CommGraph, bytes: f64) -> CommGraph {
+    let mut g = CommGraph::new(pattern.num_ranks());
+    for f in pattern.flows() {
+        g.add(f.src, f.dst, bytes);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rahtm_commgraph::patterns;
+    use rahtm_routing::{mapping_mcl, Routing};
+
+    fn cfg() -> DesConfig {
+        DesConfig::default()
+    }
+
+    #[test]
+    fn neighbor_ring_approaches_full_link_rate() {
+        // each node sends only to its +1 neighbor: links are private, so
+        // the delivered rate should approach one link's bandwidth
+        let topo = Torus::torus(&[8]);
+        let g = patterns::ring(8, 1.0);
+        let place: Vec<u32> = (0..8).collect();
+        let r = saturation_throughput(&topo, &g, &place, &cfg(), 64.0 * 1024.0);
+        assert!(
+            r.normalized > 0.8,
+            "private links should run near full rate: {}",
+            r.normalized
+        );
+        assert!(r.normalized <= 1.01);
+    }
+
+    #[test]
+    fn bit_complement_is_bisection_limited() {
+        let topo = Torus::torus(&[8]);
+        let ring = patterns::ring(8, 1.0);
+        let bc = patterns::bit_complement(8, 1.0);
+        let place: Vec<u32> = (0..8).collect();
+        let r_ring = saturation_throughput(&topo, &ring, &place, &cfg(), 32.0 * 1024.0);
+        let r_bc = saturation_throughput(&topo, &bc, &place, &cfg(), 32.0 * 1024.0);
+        assert!(
+            r_bc.normalized < r_ring.normalized * 0.7,
+            "bit-complement {} should be well below ring {}",
+            r_bc.normalized,
+            r_ring.normalized
+        );
+    }
+
+    #[test]
+    fn mcl_model_predicts_saturation_ratio() {
+        // θ_sat ∝ 1/MCL for unit-volume patterns with equal per-node
+        // injection; check DES agrees within a 2x band
+        let topo = Torus::torus(&[4, 4]);
+        let place: Vec<u32> = (0..16).collect();
+        let a = patterns::ring(16, 1.0);
+        let b = patterns::bit_complement(16, 1.0);
+        let mcl_a = mapping_mcl(&topo, &a, &place, Routing::UniformMinimal);
+        let mcl_b = mapping_mcl(&topo, &b, &place, Routing::UniformMinimal);
+        let thr_a = saturation_throughput(&topo, &a, &place, &cfg(), 32.0 * 1024.0).normalized;
+        let thr_b = saturation_throughput(&topo, &b, &place, &cfg(), 32.0 * 1024.0).normalized;
+        let predicted_ratio = mcl_b / mcl_a; // a should be this x faster
+        let measured_ratio = thr_a / thr_b;
+        assert!(
+            measured_ratio > predicted_ratio / 2.0 && measured_ratio < predicted_ratio * 2.0,
+            "predicted {predicted_ratio}, measured {measured_ratio}"
+        );
+    }
+
+    #[test]
+    fn longer_phases_increase_measured_throughput() {
+        // transients amortize: doubling the phase volume must not lower
+        // the measured rate
+        let topo = Torus::torus(&[4, 4]);
+        let g = patterns::transpose(4, 1.0);
+        let place: Vec<u32> = (0..16).collect();
+        let small = saturation_throughput(&topo, &g, &place, &cfg(), 8.0 * 1024.0);
+        let large = saturation_throughput(&topo, &g, &place, &cfg(), 64.0 * 1024.0);
+        assert!(large.normalized >= small.normalized * 0.95);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulated-annealing mapper for small sub-problems.
+//!
+//! RAHTM's MILP (Table II) benefits enormously from a good incumbent: the
+//! branch-and-bound can prune against it from the first node, and when the
+//! deterministic node budget runs out the incumbent *is* the answer. This
+//! module provides that incumbent: a seeded simulated annealing over
+//! cluster↔vertex assignments scored by MCL under the chosen routing
+//! model. It is also the pipeline's fallback when a sub-problem exceeds
+//! the MILP budget entirely.
+
+use rahtm_commgraph::CommGraph;
+use rahtm_routing::{route_graph, Routing};
+use rahtm_topology::{NodeId, Torus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing knobs.
+#[derive(Clone, Debug)]
+pub struct AnnealOptions {
+    /// Proposal count.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial MCL.
+    pub t0_frac: f64,
+    /// Geometric cooling: final temperature as a fraction of initial.
+    pub t_end_frac: f64,
+    /// RNG seed (annealing is fully reproducible).
+    pub seed: u64,
+    /// Routing model used for scoring.
+    pub routing: Routing,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            iterations: 20_000,
+            t0_frac: 0.3,
+            t_end_frac: 1e-3,
+            seed: 0x5eed,
+            routing: Routing::UniformMinimal,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// cluster → vertex assignment (injective).
+    pub placement: Vec<NodeId>,
+    /// MCL of the returned placement.
+    pub mcl: f64,
+    /// Proposals evaluated.
+    pub iterations: usize,
+}
+
+/// Maps `graph`'s clusters onto the vertices of `cube` (requires
+/// `graph.num_ranks() <= cube.num_nodes()`), minimizing MCL by simulated
+/// annealing over swaps. Deterministic for a fixed seed.
+///
+/// # Panics
+/// Panics if the graph has more vertices than the cube.
+pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> AnnealResult {
+    let a = graph.num_ranks() as usize;
+    let v = cube.num_nodes() as usize;
+    assert!(a <= v, "more clusters than cube vertices");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // slot occupancy: contents[vertex] = Some(cluster)
+    let mut contents: Vec<Option<u32>> = (0..v)
+        .map(|i| if i < a { Some(i as u32) } else { None })
+        .collect();
+    let mut placement: Vec<NodeId> = (0..a as u32).collect();
+
+    let eval = |placement: &[NodeId]| -> f64 {
+        route_graph(cube, graph, placement, opts.routing).mcl(cube)
+    };
+    let mut cur = eval(&placement);
+    let mut best = cur;
+    let mut best_placement = placement.clone();
+
+    if a <= 1 || graph.num_flows() == 0 || opts.iterations == 0 {
+        return AnnealResult {
+            placement,
+            mcl: cur,
+            iterations: 0,
+        };
+    }
+
+    let t0 = (cur * opts.t0_frac).max(1e-9);
+    let t_end = (t0 * opts.t_end_frac).max(1e-12);
+    let cool = (t_end / t0).powf(1.0 / opts.iterations as f64);
+    let mut temp = t0;
+
+    for _ in 0..opts.iterations {
+        // propose swapping the contents of two vertices (at least one
+        // occupied, otherwise it's a no-op)
+        let va = rng.gen_range(0..v);
+        let mut vb = rng.gen_range(0..v - 1);
+        if vb >= va {
+            vb += 1;
+        }
+        if contents[va].is_none() && contents[vb].is_none() {
+            temp *= cool;
+            continue;
+        }
+        // apply
+        contents.swap(va, vb);
+        if let Some(c) = contents[va] {
+            placement[c as usize] = va as NodeId;
+        }
+        if let Some(c) = contents[vb] {
+            placement[c as usize] = vb as NodeId;
+        }
+        let cand = eval(&placement);
+        let accept = cand <= cur || {
+            let p = ((cur - cand) / temp).exp();
+            rng.gen::<f64>() < p
+        };
+        if accept {
+            cur = cand;
+            if cand < best {
+                best = cand;
+                best_placement.copy_from_slice(&placement);
+            }
+        } else {
+            // revert
+            contents.swap(va, vb);
+            if let Some(c) = contents[va] {
+                placement[c as usize] = va as NodeId;
+            }
+            if let Some(c) = contents[vb] {
+                placement[c as usize] = vb as NodeId;
+            }
+        }
+        temp *= cool;
+    }
+    AnnealResult {
+        placement: best_placement,
+        mcl: best,
+        iterations: opts.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rahtm_commgraph::patterns;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cube = Torus::two_ary_cube(3);
+        let g = patterns::random(8, 20, 1.0, 10.0, 3);
+        let a = anneal_map(&cube, &g, &AnnealOptions::default());
+        let b = anneal_map(&cube, &g, &AnnealOptions::default());
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.mcl, b.mcl);
+    }
+
+    #[test]
+    fn injective_placement() {
+        let cube = Torus::two_ary_cube(3);
+        let g = patterns::random(6, 12, 1.0, 5.0, 9);
+        let r = anneal_map(&cube, &g, &AnnealOptions::default());
+        let set: std::collections::HashSet<_> = r.placement.iter().collect();
+        assert_eq!(set.len(), 6, "placement must be injective");
+    }
+
+    #[test]
+    fn improves_over_identity() {
+        // figure-1 style: heavy pair + ring; identity puts heavy pair on
+        // one link of a 2x2; annealing should find the diagonal.
+        let cube = Torus::mesh(&[2, 2]);
+        let g = patterns::figure1(100.0, 1.0);
+        let identity: Vec<NodeId> = (0..4).collect();
+        let id_mcl = route_graph(&cube, &g, &identity, Routing::UniformMinimal).mcl(&cube);
+        let r = anneal_map(&cube, &g, &AnnealOptions::default());
+        assert!(r.mcl < id_mcl, "anneal {} vs identity {id_mcl}", r.mcl);
+        // optimal is the diagonal split: 100/2 + light traffic
+        assert!(r.mcl <= 52.0 + 1e-9, "should find near-optimal: {}", r.mcl);
+    }
+
+    #[test]
+    fn single_cluster_trivial() {
+        let cube = Torus::two_ary_cube(2);
+        let g = CommGraph::new(1);
+        let r = anneal_map(&cube, &g, &AnnealOptions::default());
+        assert_eq!(r.placement, vec![0]);
+        assert_eq!(r.mcl, 0.0);
+    }
+
+    #[test]
+    fn result_mcl_matches_placement() {
+        let cube = Torus::two_ary_cube(3);
+        let g = patterns::butterfly(8, 2.0);
+        let r = anneal_map(&cube, &g, &AnnealOptions::default());
+        let check = route_graph(&cube, &g, &r.placement, Routing::UniformMinimal).mcl(&cube);
+        assert!((r.mcl - check).abs() < 1e-12);
+    }
+
+    use rahtm_commgraph::CommGraph;
+}

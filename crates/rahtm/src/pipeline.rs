@@ -1,0 +1,842 @@
+//! The full RAHTM pipeline (§III): clustering → hierarchical MILP →
+//! orientation merge, with non-uniform-machine slicing and symmetric
+//! sub-problem caching.
+//!
+//! The driver mirrors the paper's workflow end to end:
+//!
+//! 1. Cluster the rank grid by the concentration factor so application
+//!    clusters and machine nodes correspond 1:1.
+//! 2. Slice a non-uniform torus into uniform sub-tori (Mira's arity-2 E
+//!    dimension → two 4×4×4×4 slices) and split the node-cluster graph
+//!    across slices with another tiling.
+//! 3. Per slice, build the 2^n-ary clustering hierarchy, then map each
+//!    level's cluster graphs onto 2-ary n-cubes top-down with the Table II
+//!    MILP (simulated-annealing incumbent, deterministic node budget,
+//!    symmetric-sub-problem cache — the paper's "copy to neighboring nodes
+//!    with identical local communication graphs").
+//! 4. Merge solved blocks bottom-up with the orientation beam search, then
+//!    merge the slices themselves (orientation search restricted to flips
+//!    for these large blocks).
+//!
+//! Wall-clock time is measured only here, at the driver, for the §V-B
+//! optimization-time report; all algorithms below are deterministic.
+
+use crate::anneal::{anneal_map, AnnealOptions};
+use crate::block::Block;
+use crate::cluster::{build_hierarchy_with, cluster_level, cluster_level_with, LevelClustering};
+use crate::mapping::TaskMapping;
+use crate::merge::{merge_blocks, MergeOptions, PositionedBlock};
+use crate::milp::{milp_map, MilpMapOptions};
+use rahtm_commgraph::{CommGraph, Rank, RankGrid};
+use rahtm_lp::{MilpOptions, SimplexOptions};
+use rahtm_routing::{route_graph, Routing};
+use rahtm_topology::{BgqMachine, Coord, NodeId, SubCube, Torus};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct RahtmConfig {
+    /// Merge-phase beam width `N` (paper: 64).
+    pub beam_width: usize,
+    /// Routing model for all MCL scoring (paper: MAR approximation).
+    pub routing: Routing,
+    /// Enforce Table II's C3 in the MILPs (see `milp` module docs).
+    pub enforce_minimal: bool,
+    /// Use the MILP at all (false = simulated annealing only, the cheap
+    /// ablation).
+    pub use_milp: bool,
+    /// Branch-and-bound node budget per sub-problem.
+    pub milp_node_budget: usize,
+    /// Simplex pivot budget per LP.
+    pub milp_lp_iters: usize,
+    /// Simulated-annealing proposals per sub-problem (incumbent and/or
+    /// fallback).
+    pub anneal_iters: usize,
+    /// Cache solutions of structurally identical sub-problems.
+    pub cache_subproblems: bool,
+    /// Search tile shapes in phase 1 (ablation knob; `false` takes the
+    /// first valid shape instead of the minimum-cut one).
+    pub tiling_search: bool,
+    /// Greedy pairwise-swap polish proposals applied to the final
+    /// placement (§VI future-work refinement; 0 = off, the paper's
+    /// algorithm).
+    pub polish_swaps: usize,
+    /// RNG seed for annealing.
+    pub seed: u64,
+}
+
+impl Default for RahtmConfig {
+    fn default() -> Self {
+        RahtmConfig {
+            beam_width: 64,
+            routing: Routing::UniformMinimal,
+            enforce_minimal: false,
+            use_milp: true,
+            milp_node_budget: 60,
+            milp_lp_iters: 50_000,
+            anneal_iters: 20_000,
+            cache_subproblems: true,
+            tiling_search: true,
+            polish_swaps: 0,
+            seed: 0xAB1E,
+        }
+    }
+}
+
+impl RahtmConfig {
+    /// A cheap configuration for tests and quick experiments: annealing
+    /// only, narrow beam.
+    pub fn fast() -> Self {
+        RahtmConfig {
+            beam_width: 8,
+            use_milp: false,
+            anneal_iters: 4_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-phase instrumentation (the §V-B optimization-time report).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Phase 1 wall time (seconds).
+    pub clustering_secs: f64,
+    /// Phase 2 wall time (seconds).
+    pub milp_secs: f64,
+    /// Phase 3 wall time (seconds).
+    pub merge_secs: f64,
+    /// Sub-problem solves actually performed.
+    pub milp_solves: usize,
+    /// Sub-problems answered from the symmetry cache.
+    pub milp_cache_hits: usize,
+    /// Total branch-and-bound nodes across solves.
+    pub milp_nodes: usize,
+    /// Orientation candidates evaluated in phase 3.
+    pub merge_candidates: usize,
+    /// Parent merges answered by the translation-symmetry cache.
+    pub merge_cache_hits: usize,
+}
+
+impl PhaseStats {
+    /// Accumulates another stats record (used to merge per-slice worker
+    /// stats; phase wall times add because slices run concurrently but the
+    /// report tracks total work, not elapsed time).
+    pub fn absorb(&mut self, other: &PhaseStats) {
+        self.clustering_secs += other.clustering_secs;
+        self.milp_secs += other.milp_secs;
+        self.merge_secs += other.merge_secs;
+        self.milp_solves += other.milp_solves;
+        self.milp_cache_hits += other.milp_cache_hits;
+        self.milp_nodes += other.milp_nodes;
+        self.merge_candidates += other.merge_candidates;
+        self.merge_cache_hits += other.merge_cache_hits;
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct RahtmResult {
+    /// The computed mapping.
+    pub mapping: TaskMapping,
+    /// Predicted MCL of the node-level traffic under the configured
+    /// routing model.
+    pub predicted_mcl: f64,
+    /// Phase instrumentation.
+    pub stats: PhaseStats,
+}
+
+/// The RAHTM mapper.
+#[derive(Clone, Debug, Default)]
+pub struct RahtmMapper {
+    /// Configuration.
+    pub config: RahtmConfig,
+}
+
+impl RahtmMapper {
+    /// Creates a mapper with the given configuration.
+    pub fn new(config: RahtmConfig) -> Self {
+        RahtmMapper { config }
+    }
+
+    /// Maps `graph`'s ranks onto `machine`. `grid` is the application's
+    /// logical rank grid; `None` uses a near-square 2-D grid.
+    ///
+    /// # Panics
+    /// Panics if the rank count is not `nodes × concentration` for some
+    /// integer concentration within the machine's capacity.
+    pub fn map(
+        &self,
+        machine: &BgqMachine,
+        graph: &CommGraph,
+        grid: Option<RankGrid>,
+    ) -> RahtmResult {
+        let cfg = &self.config;
+        let topo = machine.torus();
+        let r = graph.num_ranks();
+        let m = topo.num_nodes();
+        assert!(r >= m && r.is_multiple_of(m), "ranks {r} must be a multiple of nodes {m}");
+        let conc = r / m;
+        assert!(
+            conc <= machine.concentration(),
+            "needs concentration {conc} > machine capacity {}",
+            machine.concentration()
+        );
+        let grid = grid.unwrap_or_else(|| RankGrid::near_square(r));
+        assert_eq!(grid.num_ranks(), r, "grid does not cover all ranks");
+
+        let mut stats = PhaseStats::default();
+
+        // ---- Phase 1a: concentration clustering ----
+        let t0 = Instant::now();
+        let conc_level = cluster_level_with(graph, &grid, conc, cfg.tiling_search);
+        let g_node = conc_level.coarse_graph.clone();
+        let node_grid = conc_level.coarse_grid.clone();
+
+        // ---- Slicing ----
+        let slices = machine.uniform_slices();
+        let s = slices.len() as u32;
+        let (slice_members, slice_grids) = split_into_slices(&g_node, &node_grid, s);
+        stats.clustering_secs += t0.elapsed().as_secs_f64();
+
+        // ---- Per-slice phases 2+3 (slices are independent; run them on
+        // crossbeam scoped threads sharing the sub-problem cache) ----
+        let cache: Mutex<HashMap<SubKey, Vec<NodeId>>> = Mutex::new(HashMap::new());
+        let merge_cache: Mutex<HashMap<MergeKey, Vec<Coord>>> = Mutex::new(HashMap::new());
+        let mut slice_results: Vec<(PositionedBlock, PhaseStats)> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (si, slice) in slices.iter().enumerate() {
+                    let members = &slice_members[si];
+                    let sgrid = &slice_grids[si];
+                    let g_node = &g_node;
+                    let cache = &cache;
+                    let merge_cache = &merge_cache;
+                    handles.push(scope.spawn(move |_| {
+                        let mut local_stats = PhaseStats::default();
+                        let g_slice = g_node.induced(members);
+                        let block = self.solve_slice(
+                            machine,
+                            slice,
+                            &g_slice,
+                            sgrid,
+                            members,
+                            g_node,
+                            cache,
+                            merge_cache,
+                            &mut local_stats,
+                        );
+                        (block, local_stats)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("slice worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        let mut slice_blocks: Vec<PositionedBlock> = Vec::new();
+        for (block, local) in slice_results.drain(..) {
+            slice_blocks.push(block);
+            stats.absorb(&local);
+        }
+
+        // ---- Final slice merge ----
+        let t3 = Instant::now();
+        let whole = SubCube::whole(topo);
+        let final_block = if slice_blocks.len() == 1 {
+            slice_blocks.pop().unwrap().block
+        } else {
+            let res = merge_blocks(
+                topo,
+                &g_node,
+                &slice_blocks,
+                whole.origin(),
+                whole.extent(),
+                &MergeOptions {
+                    beam_width: cfg.beam_width,
+                    routing: cfg.routing,
+                    // slice blocks exceed full_group_member_limit, so the
+                    // search automatically restricts to axis flips
+                    ..Default::default()
+                },
+            );
+            stats.merge_candidates += res.candidates_evaluated;
+            res.block
+        };
+        stats.merge_secs += t3.elapsed().as_secs_f64();
+
+        // ---- Expand to a process mapping ----
+        let mut node_of_cluster = vec![u32::MAX; g_node.num_ranks() as usize];
+        for &(cluster, coord) in final_block
+            .members
+            .iter()
+            .map(|(c, x)| (c, x))
+            .collect::<Vec<_>>()
+            .iter()
+        {
+            node_of_cluster[*cluster as usize] = topo.node_id(coord);
+        }
+        assert!(
+            node_of_cluster.iter().all(|&n| n != u32::MAX),
+            "every node-cluster must be placed"
+        );
+        // optional §VI polish pass on the node-level placement
+        let node_of_cluster = if cfg.polish_swaps > 0 {
+            crate::refine::polish_placement(
+                topo,
+                &g_node,
+                &node_of_cluster,
+                cfg.routing,
+                cfg.polish_swaps,
+                cfg.seed,
+            )
+            .placement
+        } else {
+            node_of_cluster
+        };
+        let node_of_rank: Vec<NodeId> = conc_level
+            .assignment
+            .iter()
+            .map(|&cl| node_of_cluster[cl as usize])
+            .collect();
+        let mapping = TaskMapping::from_nodes(machine, node_of_rank);
+        let predicted_mcl =
+            route_graph(topo, &g_node, &node_of_cluster, cfg.routing).mcl(topo);
+        RahtmResult {
+            mapping,
+            predicted_mcl,
+            stats,
+        }
+    }
+
+    /// Phases 2 and 3 for one uniform slice; returns the slice's solved
+    /// block positioned at the slice origin.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_slice(
+        &self,
+        machine: &BgqMachine,
+        slice: &SubCube,
+        g_slice: &CommGraph,
+        sgrid: &RankGrid,
+        members: &[Rank],
+        g_node: &CommGraph,
+        cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
+        merge_cache: &Mutex<HashMap<MergeKey, Vec<Coord>>>,
+        stats: &mut PhaseStats,
+    ) -> PositionedBlock {
+        let cfg = &self.config;
+        let topo = machine.torus();
+        let nd = topo.ndims();
+        let active: Vec<usize> = (0..nd).filter(|&d| slice.extent().get(d) > 1).collect();
+        let n_eff = active.len();
+        let side = if n_eff == 0 {
+            1u16
+        } else {
+            slice.extent().get(active[0])
+        };
+        for &d in &active {
+            assert_eq!(slice.extent().get(d), side, "slice must be uniform");
+        }
+        if g_slice.num_ranks() == 1 || n_eff == 0 {
+            // single node: trivial block
+            return PositionedBlock {
+                block: Block::single(nd, members[0]),
+                origin: *slice.origin(),
+            };
+        }
+        let branching = 1u32 << n_eff;
+        assert!(
+            g_slice.num_ranks() == (side as u32).pow(n_eff as u32),
+            "slice cluster count mismatch"
+        );
+
+        // ---- Phase 1b: hierarchy within the slice ----
+        let t0 = Instant::now();
+        let levels = build_hierarchy_with(g_slice, sgrid, 1, branching, branching, cfg.tiling_search);
+        stats.clustering_secs += t0.elapsed().as_secs_f64();
+
+        // ---- Phase 2: top-down MILP pinning ----
+        let t1 = Instant::now();
+        // root cube: double-wide where the slice spans a wrapped machine dim
+        let root_wraps: Vec<bool> = active
+            .iter()
+            .map(|&d| topo.wraps(d) && slice.extent().get(d) == topo.dim(d))
+            .collect();
+        let root_cube = Torus::with_wraps(&vec![2u16; n_eff], &root_wraps);
+        let leaf_cube = Torus::two_ary_cube(n_eff);
+
+        // pin[i][c]: block coordinate (machine dims, slice-relative units of
+        // level-i blocks) of cluster c in levels[i].coarse_graph
+        let d_levels = levels.len();
+        let mut pin: Vec<Vec<Coord>> = Vec::with_capacity(d_levels);
+        // root solve
+        let root_graph = &levels[0].coarse_graph;
+        let root_place = self.solve_subproblem(&root_cube, root_graph, cache, stats);
+        pin.push(
+            root_place
+                .iter()
+                .map(|&v| embed_vertex(&root_cube, v, &active, nd))
+                .collect(),
+        );
+        for i in 0..d_levels - 1 {
+            let parent_graph = &levels[i].coarse_graph;
+            let child_graph = &levels[i + 1].coarse_graph;
+            let assign = &levels[i].assignment; // child -> parent
+            let mut pin_next = vec![Coord::zero(nd); child_graph.num_ranks() as usize];
+            for parent in 0..parent_graph.num_ranks() {
+                let children: Vec<Rank> = (0..child_graph.num_ranks())
+                    .filter(|&c| assign[c as usize] == parent)
+                    .collect();
+                assert_eq!(children.len(), branching as usize);
+                let induced = child_graph.induced(&children);
+                let place = self.solve_subproblem(&leaf_cube, &induced, cache, stats);
+                for (li, &child) in children.iter().enumerate() {
+                    let v = embed_vertex(&leaf_cube, place[li], &active, nd);
+                    let mut c = Coord::zero(nd);
+                    for d in 0..nd {
+                        c.set(d, pin[i][parent as usize].get(d) * 2 + v.get(d));
+                    }
+                    // inactive dims stay 0
+                    for &d in active.iter() {
+                        let _ = d;
+                    }
+                    pin_next[child as usize] = c;
+                }
+            }
+            pin.push(pin_next);
+        }
+        stats.milp_secs += t1.elapsed().as_secs_f64();
+
+        // pin.last(): node coordinates (slice-relative) of every slice
+        // cluster (local ids). Wait: for active dims these are 0..side-1;
+        // inactive dims 0.
+
+        // ---- Phase 3: bottom-up merge ----
+        let t2 = Instant::now();
+        let finest = pin.last().unwrap();
+        let mut blocks: Vec<PositionedBlock> = finest
+            .iter()
+            .enumerate()
+            .map(|(local, coord)| {
+                let mut origin = *slice.origin();
+                for d in 0..nd {
+                    origin.set(d, origin.get(d) + coord.get(d));
+                }
+                PositionedBlock {
+                    block: Block::single(nd, members[local]),
+                    origin,
+                }
+            })
+            .collect();
+        let mut sb = 2u16;
+        while sb <= side {
+            // group blocks into parent boxes of side sb on active dims
+            let mut groups: HashMap<Coord, Vec<PositionedBlock>> = HashMap::new();
+            for b in blocks.drain(..) {
+                let mut key = *slice.origin();
+                for &d in &active {
+                    let rel = b.origin.get(d) - slice.origin().get(d);
+                    key.set(d, slice.origin().get(d) + (rel / sb) * sb);
+                }
+                groups.entry(key).or_default().push(b);
+            }
+            let mut parent_extent = Coord::zero(nd);
+            for d in 0..nd {
+                parent_extent.set(d, 1);
+            }
+            for &d in &active {
+                parent_extent.set(d, sb);
+            }
+            let mut new_blocks: Vec<PositionedBlock> = Vec::with_capacity(groups.len());
+            let mut keys: Vec<Coord> = groups.keys().cloned().collect();
+            keys.sort_by_key(|c| c.as_slice().to_vec());
+            // Paper §III-D: a merged parent's mapping "can be copied to the
+            // neighboring nodes in the same level as long as they have
+            // identical local communication graphs". The torus is
+            // vertex-transitive, so translated parents with identical
+            // relative structure share one merge solve (across slices too).
+            for key in keys {
+                let mut children = groups.remove(&key).unwrap();
+                children.sort_by_key(|c| c.origin.as_slice().to_vec());
+                let (mkey, canon_ids) = merge_key(g_node, &children, &key, &parent_extent);
+                if cfg.cache_subproblems {
+                    if let Some(coords) = merge_cache.lock().get(&mkey).cloned().as_ref() {
+                        stats.merge_cache_hits += 1;
+                        let members = canon_ids
+                            .iter()
+                            .zip(coords)
+                            .map(|(&id, &c)| (id, c))
+                            .collect();
+                        new_blocks.push(PositionedBlock {
+                            block: Block {
+                                extent: parent_extent,
+                                members,
+                            },
+                            origin: key,
+                        });
+                        continue;
+                    }
+                }
+                let res = merge_blocks(
+                    topo,
+                    g_node,
+                    &children,
+                    &key,
+                    &parent_extent,
+                    &MergeOptions {
+                        beam_width: cfg.beam_width,
+                        routing: cfg.routing,
+                        ..Default::default()
+                    },
+                );
+                stats.merge_candidates += res.candidates_evaluated;
+                if cfg.cache_subproblems {
+                    // store coords in canonical member order
+                    let coord_of: HashMap<Rank, Coord> =
+                        res.block.members.iter().cloned().collect();
+                    let coords: Vec<Coord> =
+                        canon_ids.iter().map(|id| coord_of[id]).collect();
+                    merge_cache.lock().insert(mkey, coords);
+                }
+                new_blocks.push(PositionedBlock {
+                    block: res.block,
+                    origin: key,
+                });
+            }
+            blocks = new_blocks;
+            sb *= 2;
+        }
+        stats.merge_secs += t2.elapsed().as_secs_f64();
+        assert_eq!(blocks.len(), 1, "slice must merge to a single block");
+        blocks.pop().unwrap()
+    }
+
+    /// Solves one cluster-graph → cube sub-problem with SA incumbent +
+    /// optional MILP refinement, memoized on the graph's exact structure.
+    fn solve_subproblem(
+        &self,
+        cube: &Torus,
+        graph: &CommGraph,
+        cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
+        stats: &mut PhaseStats,
+    ) -> Vec<NodeId> {
+        let cfg = &self.config;
+        let key = sub_key(cube, graph);
+        if cfg.cache_subproblems {
+            if let Some(hit) = cache.lock().get(&key) {
+                stats.milp_cache_hits += 1;
+                return hit.clone();
+            }
+        }
+        let sa = anneal_map(
+            cube,
+            graph,
+            &AnnealOptions {
+                iterations: cfg.anneal_iters,
+                seed: cfg.seed,
+                routing: cfg.routing,
+                ..Default::default()
+            },
+        );
+        let placement = if cfg.use_milp {
+            let res = milp_map(
+                cube,
+                graph,
+                &MilpMapOptions {
+                    enforce_minimal: cfg.enforce_minimal,
+                    symmetry_break: false,
+                    incumbent: Some(sa.placement.clone()),
+                    milp: MilpOptions {
+                        max_nodes: cfg.milp_node_budget,
+                        lp: SimplexOptions {
+                            max_iters: cfg.milp_lp_iters,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                },
+            );
+            stats.milp_nodes += res.nodes;
+            // Keep whichever is better under the oblivious scoring model
+            // (the MILP optimizes the LP split, SA the uniform split).
+            let milp_mcl =
+                route_graph(cube, graph, &res.placement, cfg.routing).mcl(cube);
+            if milp_mcl <= sa.mcl + 1e-9 {
+                res.placement
+            } else {
+                sa.placement
+            }
+        } else {
+            sa.placement
+        };
+        stats.milp_solves += 1;
+        if cfg.cache_subproblems {
+            cache.lock().insert(key, placement.clone());
+        }
+        placement
+    }
+}
+
+/// Embeds a cube vertex (n_eff dims) into machine dimensionality.
+fn embed_vertex(cube: &Torus, v: NodeId, active: &[usize], nd: usize) -> Coord {
+    let cv = cube.coord(v);
+    let mut out = Coord::zero(nd);
+    for (i, &d) in active.iter().enumerate() {
+        out.set(d, cv.get(i));
+    }
+    out
+}
+
+/// Splits the node-cluster graph into `s` slice groups with a tiling.
+/// Returns per-slice member lists (global cluster ids, local-lexicographic
+/// order) and per-slice logical grids.
+fn split_into_slices(
+    g_node: &CommGraph,
+    node_grid: &RankGrid,
+    s: u32,
+) -> (Vec<Vec<Rank>>, Vec<RankGrid>) {
+    let m = g_node.num_ranks();
+    if s == 1 {
+        return (vec![(0..m).collect()], vec![node_grid.clone()]);
+    }
+    assert!(m.is_multiple_of(s));
+    let per = m / s;
+    let lvl: LevelClustering = cluster_level(g_node, node_grid, per);
+    let mut members: Vec<Vec<Rank>> = vec![Vec::new(); s as usize];
+    for (rank, &tile) in lvl.assignment.iter().enumerate() {
+        members[tile as usize].push(rank as Rank);
+    }
+    let sub_grid = if lvl.shape.is_empty() {
+        RankGrid::near_square(per)
+    } else {
+        RankGrid::new(&lvl.shape)
+    };
+    let grids = vec![sub_grid; s as usize];
+    (members, grids)
+}
+
+/// Merge cache key: parent extent + per-child relative structure + the
+/// induced flow graph over canonically relabeled members. Two parents with
+/// equal keys differ only by a torus translation, so the merged
+/// orientation solution transfers verbatim.
+type MergeKey = (
+    Vec<u16>,                       // parent extent
+    Vec<(Vec<u16>, Vec<u16>, Vec<Vec<u16>>)>, // per child: rel origin, extent, member coords
+    Vec<(u32, u32, u64)>,           // canonical flows
+);
+
+/// Builds the translation-invariant key of a parent merge and the member
+/// ids in canonical order (children by origin, members by local coord).
+fn merge_key(
+    g_node: &CommGraph,
+    children: &[PositionedBlock],
+    parent_origin: &Coord,
+    parent_extent: &Coord,
+) -> (MergeKey, Vec<Rank>) {
+    let mut canon_ids: Vec<Rank> = Vec::new();
+    let mut child_desc = Vec::with_capacity(children.len());
+    for c in children {
+        let rel: Vec<u16> = (0..parent_origin.ndims())
+            .map(|d| c.origin.get(d) - parent_origin.get(d))
+            .collect();
+        let mut members = c.block.members.clone();
+        members.sort_by_key(|(_, coord)| coord.as_slice().to_vec());
+        let coords: Vec<Vec<u16>> = members
+            .iter()
+            .map(|(_, coord)| coord.as_slice().to_vec())
+            .collect();
+        for &(id, _) in &members {
+            canon_ids.push(id);
+        }
+        child_desc.push((rel, c.block.extent.as_slice().to_vec(), coords));
+    }
+    let canon_index: HashMap<Rank, u32> = canon_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    let mut flows: Vec<(u32, u32, u64)> = g_node
+        .flows()
+        .iter()
+        .filter_map(|f| {
+            match (canon_index.get(&f.src), canon_index.get(&f.dst)) {
+                (Some(&s), Some(&d)) => Some((s, d, f.bytes.to_bits())),
+                _ => None,
+            }
+        })
+        .collect();
+    flows.sort_unstable();
+    (
+        (parent_extent.as_slice().to_vec(), child_desc, flows),
+        canon_ids,
+    )
+}
+
+/// Cache key: cube shape + exact flow structure.
+type SubKey = (Vec<u16>, Vec<bool>, u32, Vec<(Rank, Rank, u64)>);
+
+fn sub_key(cube: &Torus, graph: &CommGraph) -> SubKey {
+    let mut flows: Vec<(Rank, Rank, u64)> = graph
+        .flows()
+        .iter()
+        .map(|f| (f.src, f.dst, f.bytes.to_bits()))
+        .collect();
+    flows.sort_unstable();
+    let wraps: Vec<bool> = (0..cube.ndims()).map(|d| cube.dim_width(d) > 1.0).collect();
+    (cube.dims().to_vec(), wraps, graph.num_ranks(), flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rahtm_commgraph::{patterns, Benchmark};
+
+    #[test]
+    fn walkthrough_16_ranks_on_4x4() {
+        // The paper's running example: 16 ranks onto a 4x4 torus.
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::halo_2d(4, 4, 10.0, true);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(
+            &machine,
+            &g,
+            Some(RankGrid::new(&[4, 4])),
+        );
+        res.mapping.validate(&machine);
+        assert_eq!(res.mapping.num_ranks(), 16);
+        // all 16 nodes used exactly once
+        let nodes: std::collections::HashSet<_> = res.mapping.nodes().iter().collect();
+        assert_eq!(nodes.len(), 16);
+        assert!(res.predicted_mcl > 0.0);
+    }
+
+    #[test]
+    fn rahtm_beats_or_ties_default_on_toy_halo() {
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::halo_2d(4, 4, 10.0, true);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(
+            &machine,
+            &g,
+            Some(RankGrid::new(&[4, 4])),
+        );
+        let default = TaskMapping::abcdet(&machine, 16);
+        let rahtm_mcl = res.mapping.mcl(&machine, &g, Routing::UniformMinimal);
+        let def_mcl = default.mcl(&machine, &g, Routing::UniformMinimal);
+        assert!(
+            rahtm_mcl <= def_mcl + 1e-9,
+            "rahtm {rahtm_mcl} vs default {def_mcl}"
+        );
+    }
+
+    #[test]
+    fn concentration_factor_respected() {
+        // 64 ranks on 16 nodes: concentration 4
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 16, 4);
+        let g = patterns::halo_2d(8, 8, 5.0, true);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(
+            &machine,
+            &g,
+            Some(RankGrid::new(&[8, 8])),
+        );
+        res.mapping.validate(&machine);
+        // every node holds exactly 4 ranks
+        let by = res.mapping.ranks_by_node(&machine);
+        assert!(by.iter().all(|v| v.len() == 4));
+    }
+
+    #[test]
+    fn non_uniform_machine_slices_and_merges() {
+        // 4x4x2 torus: slices into two 4x4 planes
+        let machine = BgqMachine::new(Torus::torus(&[4, 4, 2]), 16, 2);
+        let g = Benchmark::Cg.graph(64);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+        res.mapping.validate(&machine);
+        let nodes: std::collections::HashSet<_> = res.mapping.nodes().iter().collect();
+        assert_eq!(nodes.len(), 32, "all nodes used");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::random(16, 50, 1.0, 10.0, 21);
+        let cfg = RahtmConfig::fast();
+        let a = RahtmMapper::new(cfg.clone()).map(&machine, &g, None);
+        let b = RahtmMapper::new(cfg).map(&machine, &g, None);
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn cache_hits_on_symmetric_patterns() {
+        // translation-symmetric halo: leaf sub-problems repeat
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 16, 4);
+        let g = patterns::halo_2d(8, 8, 5.0, true);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(
+            &machine,
+            &g,
+            Some(RankGrid::new(&[8, 8])),
+        );
+        assert!(
+            res.stats.milp_cache_hits > 0,
+            "expected symmetric sub-problems to hit the cache: {:?}",
+            res.stats
+        );
+    }
+
+    #[test]
+    fn asymmetric_machine_slices_to_one_dim_hierarchy() {
+        // [8,4] torus: auto-slicing picks side 8, giving four 8x1 slices
+        // whose hierarchies are 1-D (n_eff = 1, branching 2) — exercises
+        // the degenerate-dimension path end to end.
+        let machine = BgqMachine::new(Torus::torus(&[8, 4]), 4, 2);
+        let g = patterns::random(64, 150, 1.0, 20.0, 77);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+        res.mapping.validate(&machine);
+        let nodes: std::collections::HashSet<_> = res.mapping.nodes().iter().collect();
+        assert_eq!(nodes.len(), 32);
+    }
+
+    #[test]
+    fn single_node_machine_trivial() {
+        let machine = BgqMachine::new(Torus::torus(&[1]), 4, 4);
+        let g = patterns::ring(4, 5.0);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+        assert!(res.mapping.nodes().iter().all(|&n| n == 0));
+        assert_eq!(res.predicted_mcl, 0.0);
+    }
+
+    #[test]
+    fn polish_never_hurts_the_pipeline_output() {
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+        let g = patterns::random(64, 160, 1.0, 30.0, 99);
+        let base = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+        let polished = RahtmMapper::new(RahtmConfig {
+            polish_swaps: 400,
+            ..RahtmConfig::fast()
+        })
+        .map(&machine, &g, None);
+        polished.mapping.validate(&machine);
+        assert!(
+            polished.predicted_mcl <= base.predicted_mcl + 1e-9,
+            "polish {} vs base {}",
+            polished.predicted_mcl,
+            base.predicted_mcl
+        );
+    }
+
+    #[test]
+    fn milp_config_runs_on_small_instance() {
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::halo_2d(4, 4, 10.0, true);
+        let cfg = RahtmConfig {
+            use_milp: true,
+            milp_node_budget: 25,
+            anneal_iters: 2_000,
+            beam_width: 8,
+            ..Default::default()
+        };
+        let res = RahtmMapper::new(cfg).map(&machine, &g, Some(RankGrid::new(&[4, 4])));
+        res.mapping.validate(&machine);
+        assert!(res.stats.milp_nodes > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dense per-channel load accumulation.
+//!
+//! Loads are indexed by the topology's dense channel slots, so accumulation
+//! is a single array index — this is the innermost loop of RAHTM's merge
+//! phase, which evaluates MCL for thousands of orientation candidates.
+
+use rahtm_topology::{ChannelId, Torus};
+
+/// Per-channel traffic accumulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelLoads {
+    loads: Vec<f64>,
+}
+
+impl ChannelLoads {
+    /// Zero loads for every channel slot of `topo`.
+    pub fn new(topo: &Torus) -> Self {
+        ChannelLoads {
+            loads: vec![0.0; topo.num_channel_slots()],
+        }
+    }
+
+    /// Adds `bytes` to a channel.
+    #[inline]
+    pub fn add(&mut self, ch: ChannelId, bytes: f64) {
+        self.loads[ch as usize] += bytes;
+    }
+
+    /// Raw load on a channel.
+    #[inline]
+    pub fn get(&self, ch: ChannelId) -> f64 {
+        self.loads[ch as usize]
+    }
+
+    /// Resets all loads to zero.
+    pub fn clear(&mut self) {
+        self.loads.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Adds another accumulator's loads into this one.
+    ///
+    /// # Panics
+    /// Panics if the accumulators belong to different topologies (length
+    /// mismatch).
+    pub fn merge(&mut self, other: &ChannelLoads) {
+        assert_eq!(self.loads.len(), other.loads.len());
+        for (a, b) in self.loads.iter_mut().zip(&other.loads) {
+            *a += b;
+        }
+    }
+
+    /// Maximum channel load, normalized by channel width (a double-wide
+    /// link carrying 2x bytes is as contended as a unit link carrying x).
+    /// This is the paper's MCL objective.
+    pub fn mcl(&self, topo: &Torus) -> f64 {
+        let mut max = 0.0f64;
+        for ch in topo.channels() {
+            let v = self.loads[ch.id as usize] / ch.width;
+            if v > max {
+                max = v;
+            }
+        }
+        max
+    }
+
+    /// Sum of loads over all channels (equals Σ flow-bytes × hops for any
+    /// minimal routing model — a conservation invariant used by tests).
+    pub fn total(&self, topo: &Torus) -> f64 {
+        topo.channels().map(|ch| self.loads[ch.id as usize]).sum()
+    }
+
+    /// Mean width-normalized load over channels that carry any traffic
+    /// (0 when nothing is loaded). The right denominator for imbalance
+    /// metrics: sparse patterns should not look imbalanced just because
+    /// most links are idle.
+    pub fn mean_loaded(&self, topo: &Torus) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ch in topo.channels() {
+            let v = self.loads[ch.id as usize];
+            if v > 0.0 {
+                sum += v / ch.width;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean width-normalized load over valid channels.
+    pub fn mean(&self, topo: &Torus) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ch in topo.channels() {
+            sum += self.loads[ch.id as usize] / ch.width;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// (channel, normalized load) of the most loaded channel.
+    pub fn argmax(&self, topo: &Torus) -> Option<(ChannelId, f64)> {
+        let mut best: Option<(ChannelId, f64)> = None;
+        for ch in topo.channels() {
+            let v = self.loads[ch.id as usize] / ch.width;
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((ch.id, v));
+            }
+        }
+        best
+    }
+
+    /// Raw load slice (indexed by channel slot).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rahtm_topology::Direction;
+
+    #[test]
+    fn add_get_clear() {
+        let t = Torus::mesh(&[2, 2]);
+        let mut l = ChannelLoads::new(&t);
+        let ch = t.channel_id(0, 1, Direction::Plus).unwrap();
+        l.add(ch, 5.0);
+        l.add(ch, 2.0);
+        assert_eq!(l.get(ch), 7.0);
+        assert_eq!(l.mcl(&t), 7.0);
+        l.clear();
+        assert_eq!(l.mcl(&t), 0.0);
+    }
+
+    #[test]
+    fn mcl_normalizes_by_width() {
+        // 2-ary torus dim -> double-wide mesh link
+        let t = Torus::two_ary_root(1);
+        let mut l = ChannelLoads::new(&t);
+        let ch = t.channel_id(0, 0, Direction::Plus).unwrap();
+        l.add(ch, 8.0);
+        assert_eq!(l.mcl(&t), 4.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let t = Torus::mesh(&[3]);
+        let mut a = ChannelLoads::new(&t);
+        let mut b = ChannelLoads::new(&t);
+        let ch = t.channel_id(0, 0, Direction::Plus).unwrap();
+        a.add(ch, 1.0);
+        b.add(ch, 2.0);
+        a.merge(&b);
+        assert_eq!(a.get(ch), 3.0);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = Torus::mesh(&[3]);
+        let mut l = ChannelLoads::new(&t);
+        let c1 = t.channel_id(0, 0, Direction::Plus).unwrap();
+        let c2 = t.channel_id(1, 0, Direction::Plus).unwrap();
+        l.add(c1, 1.0);
+        l.add(c2, 9.0);
+        assert_eq!(l.argmax(&t), Some((c2, 9.0)));
+    }
+
+    #[test]
+    fn total_and_mean() {
+        let t = Torus::mesh(&[2]);
+        let mut l = ChannelLoads::new(&t);
+        l.add(t.channel_id(0, 0, Direction::Plus).unwrap(), 4.0);
+        l.add(t.channel_id(1, 0, Direction::Minus).unwrap(), 2.0);
+        assert_eq!(l.total(&t), 6.0);
+        assert_eq!(l.mean(&t), 3.0);
+    }
+}

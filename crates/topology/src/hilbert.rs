@@ -1,0 +1,238 @@
+//! d-dimensional Hilbert space-filling curves.
+//!
+//! The paper compares RAHTM against an "adapted Hilbert order" mapping
+//! (§IV): a Hilbert curve over the four equal-extent BG/Q dimensions
+//! (A,B,C,D), with the remaining dimensions in plain dimension order. This
+//! module provides the curve itself: a bijection between a linear index and
+//! coordinates of a `2^bits`-per-side d-dimensional grid with the Hilbert
+//! locality property (consecutive indices are one hop apart).
+//!
+//! The implementation is John Skilling's transpose algorithm
+//! ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004), which works
+//! in any dimension.
+
+use crate::coord::Coord;
+
+/// Maximum total index width we support (`dims * bits`).
+const MAX_INDEX_BITS: u32 = 128;
+
+/// Converts a Hilbert index to grid coordinates.
+///
+/// * `index` — position along the curve, `0 .. 2^(dims*bits)`.
+/// * `dims` — number of grid dimensions (≥ 1).
+/// * `bits` — log2 of the per-dimension side length.
+///
+/// # Panics
+/// Panics if `dims * bits > 128` or the index is out of range.
+pub fn index_to_coord(index: u128, dims: usize, bits: u32) -> Coord {
+    assert!((1..=crate::MAX_DIMS).contains(&dims));
+    assert!(dims as u32 * bits <= MAX_INDEX_BITS);
+    if bits == 0 {
+        assert_eq!(index, 0);
+        return Coord::zero(dims);
+    }
+    assert!(
+        dims as u32 * bits == 128 || index < (1u128 << (dims as u32 * bits)),
+        "index out of range"
+    );
+    let mut x = deinterleave(index, dims, bits);
+    transpose_to_axes(&mut x, bits);
+    let mut c = Coord::zero(dims);
+    for d in 0..dims {
+        c.set(d, x[d] as u16);
+    }
+    c
+}
+
+/// Converts grid coordinates to the Hilbert index (inverse of
+/// [`index_to_coord`]).
+pub fn coord_to_index(c: &Coord, bits: u32) -> u128 {
+    let dims = c.ndims();
+    assert!(dims as u32 * bits <= MAX_INDEX_BITS);
+    if bits == 0 {
+        return 0;
+    }
+    let mut x: Vec<u32> = c.iter().map(|v| v as u32).collect();
+    for &v in &x {
+        assert!(v < (1 << bits), "coordinate out of range");
+    }
+    axes_to_transpose(&mut x, bits);
+    interleave(&x, bits)
+}
+
+/// Enumerates the full curve as a coordinate sequence (convenience for
+/// mapping construction; `2^(dims*bits)` entries).
+pub fn curve(dims: usize, bits: u32) -> Vec<Coord> {
+    let len = 1u128 << (dims as u32 * bits);
+    (0..len).map(|i| index_to_coord(i, dims, bits)).collect()
+}
+
+/// Transpose form -> axes (Skilling, TransposetoAxes).
+fn transpose_to_axes(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    // Gray decode by h ^= h >> 1 in transpose space
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work
+    let mut q: u32 = 2;
+    while q != (1 << bits) {
+        let p = q.wrapping_sub(1);
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Axes -> transpose form (Skilling, AxestoTranspose).
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    let m: u32 = 1 << (bits - 1);
+    // Inverse undo
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Packs the transpose form into a single index: bit `b` of `x[i]`
+/// becomes index bit `b*n + (n-1-i)` — i.e. one bit from each axis per
+/// level, most-significant level first.
+fn interleave(x: &[u32], bits: u32) -> u128 {
+    let n = x.len();
+    let mut out: u128 = 0;
+    for b in (0..bits).rev() {
+        for (i, &xi) in x.iter().enumerate() {
+            out <<= 1;
+            out |= ((xi >> b) & 1) as u128;
+            let _ = i;
+            let _ = n;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave(index: u128, dims: usize, bits: u32) -> Vec<u32> {
+    let mut x = vec![0u32; dims];
+    let total = dims as u32 * bits;
+    for pos in 0..total {
+        let bit = (index >> (total - 1 - pos)) & 1;
+        let level = pos / dims as u32; // 0 = most significant
+        let axis = (pos % dims as u32) as usize;
+        x[axis] |= (bit as u32) << (bits - 1 - level);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_dim_is_identity() {
+        for i in 0..16u128 {
+            let c = index_to_coord(i, 1, 4);
+            assert_eq!(c.get(0) as u128, i);
+            assert_eq!(coord_to_index(&c, 4), i);
+        }
+    }
+
+    #[test]
+    fn classic_2d_order_4() {
+        // The standard 4x4 Hilbert curve starting at (0,0): a known shape —
+        // consecutive points are 1 apart and the curve visits all 16 cells.
+        let pts = curve(2, 2);
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0], Coord::new(&[0, 0]));
+        let set: std::collections::HashSet<_> = pts.iter().cloned().collect();
+        assert_eq!(set.len(), 16);
+        for w in pts.windows(2) {
+            assert_eq!(w[0].l1_mesh(&w[1]), 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn adjacency_3d() {
+        let pts = curve(3, 2);
+        assert_eq!(pts.len(), 64);
+        for w in pts.windows(2) {
+            assert_eq!(w[0].l1_mesh(&w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn adjacency_4d_paper_abcd() {
+        // The paper's adapted Hilbert mapping uses a 4-D curve over the
+        // 4x4x4x4 A..D dimensions: bits=2, dims=4.
+        let pts = curve(4, 2);
+        assert_eq!(pts.len(), 256);
+        let set: std::collections::HashSet<_> = pts.iter().cloned().collect();
+        assert_eq!(set.len(), 256);
+        for w in pts.windows(2) {
+            assert_eq!(w[0].l1_mesh(&w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn bits_zero_is_single_point() {
+        assert_eq!(index_to_coord(0, 3, 0), Coord::zero(3));
+        assert_eq!(coord_to_index(&Coord::zero(3), 0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_2d(i in 0u128..256) {
+            let c = index_to_coord(i, 2, 4);
+            prop_assert_eq!(coord_to_index(&c, 4), i);
+        }
+
+        #[test]
+        fn roundtrip_5d(i in 0u128..1024) {
+            let c = index_to_coord(i, 5, 2);
+            prop_assert_eq!(coord_to_index(&c, 2), i);
+        }
+
+        #[test]
+        fn consecutive_indices_are_adjacent(i in 0u128..1023) {
+            let a = index_to_coord(i, 5, 2);
+            let b = index_to_coord(i + 1, 5, 2);
+            prop_assert_eq!(a.l1_mesh(&b), 1);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's §VI extension: mapping an application whose traffic
+//! includes *collective* operations, lowered to the point-to-point flows
+//! of their implementation algorithms.
+//!
+//! A 2-D halo solver that also performs a recursive-doubling all-reduce
+//! per iteration (a very common HPC shape: stencil + global dot products)
+//! is mapped with RAHTM; different all-reduce algorithms change the
+//! traffic pattern and therefore the mapping — exactly the sensitivity the
+//! paper predicted.
+//!
+//! ```sh
+//! cargo run --release --example collectives_extension
+//! ```
+
+use rahtm_repro::commgraph::collectives::{allreduce, CollectiveAlgorithm};
+use rahtm_repro::prelude::*;
+
+fn main() {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let grid = RankGrid::new(&[8, 8]);
+
+    println!("64-rank stencil + per-iteration all-reduce on a 4x4 torus (conc 4)\n");
+    println!(
+        "{:<22} {:>14} {:>12} {:>12}",
+        "all-reduce algorithm", "total volume", "default MCL", "RAHTM MCL"
+    );
+    println!("{}", "-".repeat(64));
+    for (name, algo) in [
+        ("recursive doubling", CollectiveAlgorithm::RecursiveDoubling),
+        ("ring", CollectiveAlgorithm::Ring),
+        ("dissemination", CollectiveAlgorithm::Dissemination),
+        ("binomial tree", CollectiveAlgorithm::BinomialTree),
+    ] {
+        // stencil traffic + the collective's flows
+        let mut app = patterns::halo_2d(8, 8, 64.0 * 1024.0, true);
+        allreduce(&mut app, algo, 256.0 * 1024.0);
+        app.validate();
+
+        let default = TaskMapping::abcdet(&machine, 64);
+        let rahtm = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &app, Some(grid.clone()));
+        let d = default.mcl(&machine, &app, Routing::UniformMinimal);
+        let r = rahtm.mapping.mcl(&machine, &app, Routing::UniformMinimal);
+        println!(
+            "{name:<22} {:>11.1} MB {:>9.2} MB {:>8.2} MB ({:+.0}%)",
+            app.total_volume() / 1048576.0,
+            d / 1048576.0,
+            r / 1048576.0,
+            (r / d - 1.0) * 100.0
+        );
+    }
+    println!("\nEach algorithm induces a different pattern (XOR butterfly, neighbor");
+    println!("ring, power-of-two offsets, tree), and RAHTM adapts the mapping to it —");
+    println!("no change to the pipeline was needed, only the §VI pattern lowering.");
+}

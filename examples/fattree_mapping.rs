@@ -1,0 +1,45 @@
+//! §VI extension demo: RAHTM-style mapping on a *fat-tree* machine.
+//!
+//! The paper's three ingredients survive the topology change, but the
+//! orientation search degenerates — sibling subtrees are interchangeable —
+//! so mapping a fat-tree reduces to recursive minimum-boundary
+//! partitioning, scored against each level's up-link capacity. Tapered
+//! (oversubscribed) trees make the mapping matter more, which this example
+//! demonstrates.
+//!
+//! ```sh
+//! cargo run --release --example fattree_mapping
+//! ```
+
+use rahtm_repro::core::fattree::{fattree_default, fattree_map, FatTree};
+use rahtm_repro::prelude::*;
+
+fn main() {
+    let g = patterns::halo_2d(16, 16, 64.0 * 1024.0, true);
+    let grid = RankGrid::new(&[16, 16]);
+
+    println!("256-rank periodic halo on three fat-tree machines (64 leaves, conc 4)\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>10}",
+        "machine", "default MCL", "RAHTM-FT MCL", "gain"
+    );
+    println!("{}", "-".repeat(68));
+    for (name, tree) in [
+        ("full bisection", FatTree::full_bisection(&[4, 4, 4])),
+        ("2:1 tapered", FatTree::tapered(&[4, 4, 4], 0.5)),
+        ("4:1 tapered", FatTree::tapered(&[4, 4, 4], 0.25)),
+    ] {
+        let default = fattree_default(&tree, 256);
+        let mapped = fattree_map(&tree, &g, &grid);
+        let dm = tree.mcl(&g, &default);
+        println!(
+            "{name:<26} {:>11.2} MB {:>11.2} MB {:>+9.1}%",
+            dm / 1048576.0,
+            mapped.mcl / 1048576.0,
+            (mapped.mcl / dm - 1.0) * 100.0
+        );
+    }
+    println!("\nThe tighter the taper, the larger the absolute load the partition saves;");
+    println!("phase 1's tile search is doing all the work — phases 2/3 are trivial on");
+    println!("trees because siblings are topologically equivalent (paper §VI).");
+}

@@ -1,0 +1,47 @@
+//! Figure 1: why hop-bytes is the wrong objective under minimum adaptive
+//! routing.
+//!
+//! Four processes communicate on a 2×2 network: P1↔P2 heavily, the rest
+//! lightly. Hop-bytes pulls the heavy pair onto one link; MCL-aware
+//! mapping puts them on the diagonal so adaptive routing splits the load
+//! over two paths. This example evaluates both placements three ways:
+//! the oblivious uniform-minimal model, the exact optimal-split LP, and
+//! the packet-level discrete-event simulator.
+//!
+//! ```sh
+//! cargo run --release --example fig1_hopbytes_vs_mcl
+//! ```
+
+use rahtm_repro::netsim::des::{simulate_phase, DesConfig};
+use rahtm_repro::prelude::*;
+use rahtm_repro::routing::adaptive::optimal_adaptive_mcl;
+
+fn main() {
+    let topo = Torus::mesh(&[2, 2]);
+    let g = patterns::figure1(100_000.0, 1_000.0);
+
+    // Figure 1(b): hop-bytes optimal — heavy pair adjacent.
+    let adjacent: Vec<u32> = vec![0, 1, 2, 3];
+    // Figure 1(c): MCL optimal under MAR — heavy pair diagonal.
+    let diagonal: Vec<u32> = vec![0, 3, 1, 2];
+
+    println!("placement        hop-bytes    MCL(oblivious)  MCL(opt-split LP)  DES makespan");
+    println!("{}", "-".repeat(82));
+    for (name, place) in [("adjacent (1b)", &adjacent), ("diagonal (1c)", &diagonal)] {
+        let hb = mapping_hop_bytes(&topo, &g, place);
+        let mcl = mapping_mcl(&topo, &g, place, Routing::UniformMinimal);
+        let flows: Vec<(u32, u32, f64)> = g
+            .flows()
+            .iter()
+            .map(|f| (place[f.src as usize], place[f.dst as usize], f.bytes))
+            .collect();
+        let lp = optimal_adaptive_mcl(&topo, &flows, &Default::default())
+            .expect("LP converges")
+            .mcl;
+        let des = simulate_phase(&topo, &g, place, &DesConfig::default()).makespan;
+        println!("{name:<16} {hb:>10.0} {mcl:>15.0} {lp:>18.1} {des:>12.1} us");
+    }
+    println!();
+    println!("hop-bytes prefers 'adjacent', but every load-aware metric — and the");
+    println!("packet simulator — agrees the diagonal placement is ~2x better.");
+}

@@ -1,0 +1,249 @@
+//! `rahtm-map` — the offline mapping tool, end to end.
+//!
+//! Reads a communication profile (or generates one for a named NAS
+//! benchmark), runs the RAHTM pipeline for a given machine, reports the
+//! improvement over the default mapping, and writes a BG/Q-style mapfile
+//! that an MPI runtime consumes. This is the workflow of §V-B: pay the
+//! mapping cost once, reuse the mapfile on every run.
+//!
+//! ```text
+//! rahtm-map --benchmark CG --ranks 1024 --machine 4x4x4x2 --cores 16 --out cg.map
+//! rahtm-map --profile trace.json --machine 4x4 --out app.map --fast
+//! ```
+
+use rahtm_repro::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    profile: Option<String>,
+    benchmark: Option<String>,
+    ranks: Option<u32>,
+    machine: Vec<u16>,
+    cores: u32,
+    grid: Option<Vec<u32>>,
+    out: Option<String>,
+    fast: bool,
+    milp: bool,
+    beam: Option<usize>,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rahtm-map (--profile FILE.json | --benchmark BT|SP|CG --ranks N)\n       \
+     --machine AxBxC... [--cores N] [--grid RxC] [--out FILE.map]\n       \
+     [--fast] [--milp] [--beam N] [--quiet]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        profile: None,
+        benchmark: None,
+        ranks: None,
+        machine: Vec::new(),
+        cores: 16,
+        grid: None,
+        out: None,
+        fast: false,
+        milp: false,
+        beam: None,
+        quiet: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--profile" => {
+                a.profile = Some(value(&argv, i, "--profile")?);
+                i += 2;
+            }
+            "--benchmark" => {
+                a.benchmark = Some(value(&argv, i, "--benchmark")?);
+                i += 2;
+            }
+            "--ranks" => {
+                a.ranks = Some(
+                    value(&argv, i, "--ranks")?
+                        .parse()
+                        .map_err(|e| format!("--ranks: {e}"))?,
+                );
+                i += 2;
+            }
+            "--machine" => {
+                a.machine = value(&argv, i, "--machine")?
+                    .split('x')
+                    .map(|t| t.parse::<u16>().map_err(|e| format!("--machine: {e}")))
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            "--cores" => {
+                a.cores = value(&argv, i, "--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?;
+                i += 2;
+            }
+            "--grid" => {
+                a.grid = Some(
+                    value(&argv, i, "--grid")?
+                        .split('x')
+                        .map(|t| t.parse::<u32>().map_err(|e| format!("--grid: {e}")))
+                        .collect::<Result<_, _>>()?,
+                );
+                i += 2;
+            }
+            "--out" => {
+                a.out = Some(value(&argv, i, "--out")?);
+                i += 2;
+            }
+            "--beam" => {
+                a.beam = Some(
+                    value(&argv, i, "--beam")?
+                        .parse()
+                        .map_err(|e| format!("--beam: {e}"))?,
+                );
+                i += 2;
+            }
+            "--fast" => {
+                a.fast = true;
+                i += 1;
+            }
+            "--milp" => {
+                a.milp = true;
+                i += 1;
+            }
+            "--quiet" => {
+                a.quiet = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if a.machine.is_empty() {
+        return Err(format!("--machine is required\n{}", usage()));
+    }
+    if a.profile.is_none() && a.benchmark.is_none() {
+        return Err(format!(
+            "need --profile or --benchmark\n{}",
+            usage()
+        ));
+    }
+    Ok(a)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rahtm-map: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rahtm-map: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    // ---- workload ----
+    let (name, graph, grid) = if let Some(path) = &args.profile {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let profile = Profile::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let g = profile.to_graph();
+        let grid = args
+            .grid
+            .clone()
+            .map(|d| RankGrid::new(&d))
+            .unwrap_or_else(|| RankGrid::near_square(g.num_ranks()));
+        (profile.name.clone(), g, grid)
+    } else {
+        let bname = args.benchmark.as_deref().unwrap();
+        let bench = match bname.to_ascii_uppercase().as_str() {
+            "BT" => Benchmark::Bt,
+            "SP" => Benchmark::Sp,
+            "CG" => Benchmark::Cg,
+            other => return Err(format!("unknown benchmark '{other}' (BT, SP, CG)")),
+        };
+        let ranks = args.ranks.ok_or("--benchmark needs --ranks")?;
+        let spec = bench.spec(ranks);
+        (
+            format!("{}.{}", bench.name(), ranks),
+            spec.comm_graph(),
+            spec.grid,
+        )
+    };
+    if grid.num_ranks() != graph.num_ranks() {
+        return Err(format!(
+            "grid {:?} covers {} ranks but the workload has {}",
+            grid.dims(),
+            grid.num_ranks(),
+            graph.num_ranks()
+        ));
+    }
+
+    // ---- machine ----
+    let nodes: u32 = args.machine.iter().map(|&k| k as u32).product();
+    if graph.num_ranks() % nodes != 0 {
+        return Err(format!(
+            "{} ranks do not fill {nodes} nodes uniformly",
+            graph.num_ranks()
+        ));
+    }
+    let conc = graph.num_ranks() / nodes;
+    if conc > args.cores.max(conc) {
+        return Err(format!("concentration {conc} exceeds --cores"));
+    }
+    let machine = BgqMachine::new(Torus::torus(&args.machine), args.cores, conc.max(1));
+
+    // ---- mapping ----
+    let mut cfg = if args.fast {
+        RahtmConfig::fast()
+    } else {
+        RahtmConfig::default()
+    };
+    cfg.use_milp = args.milp || (!args.fast && cfg.use_milp);
+    if let Some(b) = args.beam {
+        cfg.beam_width = b;
+    }
+    let t0 = std::time::Instant::now();
+    let result = RahtmMapper::new(cfg).map(&machine, &graph, Some(grid));
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let default = TaskMapping::abcdet(&machine, graph.num_ranks());
+    let mcl_default = default.mcl(&machine, &graph, Routing::UniformMinimal);
+    let mcl_rahtm = result.mapping.mcl(&machine, &graph, Routing::UniformMinimal);
+
+    if !args.quiet {
+        println!("workload     : {name} ({} ranks)", graph.num_ranks());
+        println!(
+            "machine      : {:?} torus, {} nodes, concentration {}",
+            args.machine,
+            nodes,
+            machine.concentration()
+        );
+        println!("mapping time : {elapsed:.1} s");
+        println!("default MCL  : {mcl_default:.0}");
+        println!("RAHTM MCL    : {mcl_rahtm:.0}");
+        if mcl_default > 0.0 {
+            println!(
+                "improvement  : {:+.1}%",
+                (mcl_rahtm / mcl_default - 1.0) * 100.0
+            );
+        }
+    }
+    if let Some(out) = &args.out {
+        let text = result.mapping.to_bgq_mapfile(&machine);
+        std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+        if !args.quiet {
+            println!("wrote        : {out} ({} lines)", text.lines().count());
+        }
+    }
+    Ok(())
+}

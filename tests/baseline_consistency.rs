@@ -1,0 +1,71 @@
+//! Consistency between independent implementations of the same mapping
+//! concepts across crates.
+
+use rahtm_repro::baselines::permute::parse_order;
+use rahtm_repro::prelude::*;
+
+/// `TaskMapping::abcdet` (rahtm-core) and the generic dimension-order
+/// mapper (rahtm-baselines) must produce identical node assignments for
+/// the canonical order.
+#[test]
+fn abcdet_implementations_agree() {
+    for (dims, conc, ranks) in [
+        (vec![4u16, 4], 4u32, 64u32),
+        (vec![4, 4, 4, 2], 8, 1024),
+        (vec![2, 3], 2, 12),
+    ] {
+        let machine = BgqMachine::new(Torus::torus(&dims), 16, conc);
+        let core_map = TaskMapping::abcdet(&machine, ranks);
+        let order: String = (0..dims.len())
+            .map(|d| (b'A' + d as u8) as char)
+            .chain(std::iter::once('T'))
+            .collect();
+        let generic = dim_order_mapping(&machine, &parse_order(&machine, &order).unwrap(), ranks);
+        assert_eq!(core_map.nodes(), &generic[..], "dims {dims:?}");
+    }
+}
+
+/// The default fat-tree / dragonfly mappings agree with the torus default
+/// on the invariant that matters: rank blocks of `concentration` share a
+/// node, in rank order.
+#[test]
+fn default_mappings_pack_rank_blocks() {
+    use rahtm_repro::core::dragonfly::{dragonfly_default, Dragonfly};
+    use rahtm_repro::core::fattree::{fattree_default, FatTree};
+    let ft = FatTree::full_bisection(&[4, 4]);
+    let ft_map = fattree_default(&ft, 64);
+    let df = Dragonfly::balanced(4, 2);
+    let df_map = dragonfly_default(&df, 64);
+    for r in 0..64usize {
+        assert_eq!(ft_map[r], (r / 4) as u32);
+        assert_eq!(df_map[r], (r / 4) as u32);
+    }
+}
+
+/// Every mapper's output, fed through the BG/Q mapfile format, survives a
+/// round trip (the interchange format is the contract between the mapper
+/// and the MPI runtime).
+#[test]
+fn every_mapper_roundtrips_through_mapfile() {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let g = Benchmark::Sp.graph(64);
+    let spec = Benchmark::Sp.spec(64);
+    let candidates: Vec<Vec<u32>> = vec![
+        TaskMapping::abcdet(&machine, 64).nodes().to_vec(),
+        hilbert_mapping(&machine, 64),
+        greedy_hop_bytes(&machine, &g),
+        random_mapping(&machine, 64, 11),
+        rht_mapping(
+            &machine,
+            &spec.grid,
+            &RhtConfig::generic(&machine, &spec.grid),
+            64,
+        ),
+    ];
+    for nodes in candidates {
+        let mapping = TaskMapping::from_nodes(&machine, nodes);
+        let text = mapping.to_bgq_mapfile(&machine);
+        let back = TaskMapping::from_bgq_mapfile(&machine, &text).unwrap();
+        assert_eq!(back, mapping);
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the `rahtm-map` CLI: the full user workflow from
+//! profile / benchmark to mapfile, via the compiled binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rahtm-map"))
+}
+
+#[test]
+fn benchmark_to_mapfile_roundtrip() {
+    let dir = std::env::temp_dir().join("rahtm_cli_test_bt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("bt.map");
+    let status = bin()
+        .args([
+            "--benchmark",
+            "BT",
+            "--ranks",
+            "64",
+            "--machine",
+            "4x4",
+            "--cores",
+            "4",
+            "--fast",
+            "--quiet",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let text = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(text.lines().count(), 64);
+    // parse it back through the library
+    let machine = rahtm_repro::prelude::BgqMachine::new(
+        rahtm_repro::prelude::Torus::torus(&[4, 4]),
+        4,
+        4,
+    );
+    let map =
+        rahtm_repro::prelude::TaskMapping::from_bgq_mapfile(&machine, &text).expect("valid map");
+    map.validate(&machine);
+}
+
+#[test]
+fn profile_input() {
+    use rahtm_repro::prelude::*;
+    let dir = std::env::temp_dir().join("rahtm_cli_test_profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile_path = dir.join("halo.json");
+    let profile = Profile::from_graph("halo16", &patterns::halo_2d(4, 4, 10.0, true), 0.5, 10);
+    std::fs::write(&profile_path, profile.to_json()).unwrap();
+    let output = bin()
+        .args([
+            "--profile",
+            profile_path.to_str().unwrap(),
+            "--machine",
+            "4x4",
+            "--grid",
+            "4x4",
+            "--fast",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("halo16"));
+    assert!(text.contains("RAHTM MCL"));
+}
+
+#[test]
+fn missing_args_fail_cleanly() {
+    let output = bin().output().expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn bad_benchmark_rejected() {
+    let output = bin()
+        .args(["--benchmark", "LU", "--ranks", "64", "--machine", "4x4"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn non_dividing_ranks_rejected() {
+    let output = bin()
+        .args(["--benchmark", "CG", "--ranks", "64", "--machine", "3x5", "--fast"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("uniformly"));
+}

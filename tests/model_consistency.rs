@@ -1,0 +1,163 @@
+//! Cross-model consistency: the combinatorial routing model, the
+//! optimal-split LP, and the packet-level simulator must tell a coherent
+//! story, since the whole premise of RAHTM is that the cheap model (MCL
+//! under uniform-minimal) predicts delivered performance.
+
+use rahtm_repro::netsim::des::{simulate_phase, DesConfig, DesRouting};
+use rahtm_repro::prelude::*;
+use rahtm_repro::routing::adaptive::optimal_adaptive_mcl;
+use rahtm_repro::routing::route_graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LP optimal split ≤ uniform split ≤ single-path DOR, for whole graphs.
+#[test]
+fn routing_model_ordering() {
+    let topo = Torus::torus(&[4, 4]);
+    let mut rng = StdRng::seed_from_u64(31);
+    for trial in 0..8 {
+        let g = patterns::random(16, 30, 1.0, 20.0, rng.gen());
+        let place: Vec<u32> = (0..16).collect();
+        let uniform = mapping_mcl(&topo, &g, &place, Routing::UniformMinimal);
+        let dor = mapping_mcl(&topo, &g, &place, Routing::DimOrder);
+        let flows: Vec<(u32, u32, f64)> = g
+            .flows()
+            .iter()
+            .map(|f| (place[f.src as usize], place[f.dst as usize], f.bytes))
+            .collect();
+        let lp = optimal_adaptive_mcl(&topo, &flows, &Default::default())
+            .expect("LP converges")
+            .mcl;
+        assert!(lp <= uniform + 1e-6, "trial {trial}: lp {lp} uniform {uniform}");
+        assert!(
+            uniform <= dor + 1e-6,
+            "trial {trial}: uniform {uniform} dor {dor}"
+        );
+    }
+}
+
+/// Total load conservation holds for whole communication graphs.
+#[test]
+fn whole_graph_load_conservation() {
+    let topo = Torus::torus(&[4, 4, 2]);
+    let g = Benchmark::Bt.graph(1024);
+    // place ranks round-robin onto nodes (32 per node)
+    let place: Vec<u32> = (0..1024).map(|r| r % 32).collect();
+    let loads = route_graph(&topo, &g, &place, Routing::UniformMinimal);
+    let expect: f64 = g
+        .flows()
+        .iter()
+        .map(|f| {
+            f.bytes * topo.distance(place[f.src as usize], place[f.dst as usize]) as f64
+        })
+        .sum();
+    assert!((loads.total(&topo) - expect).abs() <= 1e-6 * expect);
+}
+
+/// When two mappings differ substantially in MCL (> 1.3x), the
+/// packet-level simulator must rank them the same way. (Near-ties are
+/// legitimately noisy — adaptive routing recovers some of a slightly
+/// worse layout — so only well-separated pairs are checked.)
+#[test]
+fn mcl_predicts_des_makespan_ordering() {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let topo = machine.torus();
+    let g = Benchmark::Bt.graph(64);
+    // structurally different mappings spanning a wide MCL range
+    let candidates: Vec<(&str, Vec<u32>)> = vec![
+        ("abcdet", TaskMapping::abcdet(&machine, 64).nodes().to_vec()),
+        ("random", random_mapping(&machine, 64, 3)),
+        ("round_robin", (0..64u32).map(|r| r % 16).collect()),
+        (
+            "rahtm",
+            RahtmMapper::new(RahtmConfig::fast())
+                .map(&machine, &g, None)
+                .mapping
+                .nodes()
+                .to_vec(),
+        ),
+    ];
+    let points: Vec<(String, f64, f64)> = candidates
+        .into_iter()
+        .map(|(name, place)| {
+            let mcl = mapping_mcl(topo, &g, &place, Routing::UniformMinimal);
+            let des = simulate_phase(topo, &g, &place, &DesConfig::default()).makespan;
+            (name.to_string(), mcl, des)
+        })
+        .collect();
+    for a in &points {
+        for b in &points {
+            if a.1 > 1.3 * b.1 {
+                assert!(
+                    a.2 > b.2,
+                    "{} (MCL {:.0}, makespan {:.0}) should be slower than {} (MCL {:.0}, makespan {:.0})",
+                    a.0, a.1, a.2, b.0, b.1, b.2
+                );
+            }
+        }
+    }
+    // and the spread must be real: at least one well-separated pair exists
+    let mcls: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let max = mcls.iter().cloned().fold(0.0, f64::max);
+    let min = mcls.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max > 1.3 * min, "test needs MCL spread, got {mcls:?}");
+}
+
+/// The simulator's adaptive routing beats its DOR under contention for
+/// whole benchmark graphs, consistent with the model-level comparison.
+#[test]
+fn des_adaptive_no_worse_than_dor_on_benchmarks() {
+    let topo = Torus::torus(&[4, 4]);
+    let g = Benchmark::Bt.graph(16);
+    let place: Vec<u32> = (0..16).collect();
+    let adaptive = simulate_phase(
+        &topo,
+        &g,
+        &place,
+        &DesConfig {
+            routing: DesRouting::MinimalAdaptive,
+            ..Default::default()
+        },
+    );
+    let dor = simulate_phase(
+        &topo,
+        &g,
+        &place,
+        &DesConfig {
+            routing: DesRouting::DimOrder,
+            ..Default::default()
+        },
+    );
+    assert!(adaptive.makespan <= dor.makespan * 1.02);
+}
+
+/// Execution-time model: mapping-independent computation, so execution
+/// deltas come only from communication (the Fig 8 = damped Fig 10 law).
+#[test]
+fn execution_model_amdahl_consistency() {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let topo = machine.torus();
+    let bench = Benchmark::Cg;
+    let g = bench.graph(64);
+    let default = TaskMapping::abcdet(&machine, 64);
+    let app = AppModel::calibrated(
+        topo,
+        &g,
+        default.nodes(),
+        bench.comm_fraction(),
+        bench.iterations(),
+        CommTimeModel::default(),
+        Routing::UniformMinimal,
+    );
+    let base = app.execute(topo, &g, default.nodes());
+    let better = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+    let new = app.execute(topo, &g, better.mapping.nodes());
+    assert_eq!(base.comp, new.comp, "computation must be mapping-invariant");
+    let f = bench.comm_fraction();
+    let comm_ratio = new.comm / base.comm;
+    let predicted_exec_ratio = 1.0 - f + f * comm_ratio;
+    assert!(
+        ((new.total / base.total) - predicted_exec_ratio).abs() < 1e-9,
+        "Amdahl relation must hold exactly in the model"
+    );
+}

@@ -1,0 +1,105 @@
+//! Property-based cross-crate invariants: every mapper yields a valid
+//! mapping, routing models conserve load, and pipelines are deterministic,
+//! for randomized workloads and machine shapes.
+
+use proptest::prelude::*;
+use rahtm_repro::prelude::*;
+use rahtm_repro::routing::route_graph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RAHTM produces a bijective node assignment for any workload shape
+    /// at fixed machine size.
+    #[test]
+    fn rahtm_mapping_is_bijective(seed in 0u64..1000, flows in 10usize..80) {
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 1, 1);
+        let g = patterns::random(16, flows, 1.0, 50.0, seed);
+        let res = RahtmMapper::new(RahtmConfig::fast()).map(&machine, &g, None);
+        let distinct: std::collections::HashSet<_> =
+            res.mapping.nodes().iter().collect();
+        prop_assert_eq!(distinct.len(), 16);
+    }
+
+    /// Load conservation holds for random graphs on random torus shapes.
+    #[test]
+    fn conservation_on_random_machines(
+        seed in 0u64..1000,
+        dims_idx in 0usize..4,
+    ) {
+        let dims: &[u16] = [&[8u16][..], &[4, 4], &[2, 4, 2], &[3, 5]][dims_idx];
+        let topo = Torus::torus(dims);
+        let n = topo.num_nodes();
+        let g = patterns::random(n, 30, 1.0, 10.0, seed);
+        let place: Vec<u32> = (0..n).collect();
+        let loads = route_graph(&topo, &g, &place, Routing::UniformMinimal);
+        let expect: f64 = g
+            .flows()
+            .iter()
+            .map(|f| f.bytes * topo.distance(f.src, f.dst) as f64)
+            .sum();
+        prop_assert!((loads.total(&topo) - expect).abs() <= 1e-6 * expect.max(1.0));
+    }
+
+    /// Hop-bytes is invariant under the identity and symmetric under
+    /// graph symmetrization.
+    #[test]
+    fn hop_bytes_symmetrization(seed in 0u64..1000) {
+        let topo = Torus::torus(&[4, 4]);
+        let g = patterns::random(16, 40, 1.0, 10.0, seed);
+        let place: Vec<u32> = (0..16).collect();
+        let hb = mapping_hop_bytes(&topo, &g, &place);
+        let hb_sym = mapping_hop_bytes(&topo, &g.symmetrized(), &place);
+        prop_assert!((hb - hb_sym).abs() < 1e-6 * hb.max(1.0));
+    }
+
+    /// The annealing mapper never returns something worse than its own
+    /// reported MCL, and the report matches an independent evaluation.
+    #[test]
+    fn anneal_report_is_honest(seed in 0u64..1000) {
+        let cube = Torus::two_ary_cube(3);
+        let g = patterns::random(8, 16, 1.0, 10.0, seed);
+        let r = rahtm_repro::core::anneal::anneal_map(
+            &cube,
+            &g,
+            &rahtm_repro::core::anneal::AnnealOptions {
+                iterations: 2000,
+                seed,
+                ..Default::default()
+            },
+        );
+        let check = mapping_mcl(&cube, &g, &r.placement, Routing::UniformMinimal);
+        prop_assert!((r.mcl - check).abs() < 1e-9);
+    }
+
+    /// Dimension-permutation mappings are always balanced: every node gets
+    /// exactly `concentration` ranks regardless of the order chosen.
+    #[test]
+    fn permutation_orders_balanced(which in 0usize..3) {
+        let machine = BgqMachine::new(Torus::torus(&[2, 3, 2]), 4, 4);
+        let order = ["ABCT", "TCBA", "BTAC"][which];
+        let nodes = dim_order_mapping(
+            &machine,
+            &rahtm_repro::baselines::permute::parse_order(&machine, order).unwrap(),
+            48,
+        );
+        let mut counts = [0u32; 12];
+        for &n in &nodes {
+            counts[n as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 4));
+    }
+}
+
+/// Pipeline determinism across repeated runs (not proptest: exact equality
+/// must hold run-to-run for the offline-mapping workflow).
+#[test]
+fn pipeline_is_reproducible() {
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 4, 4);
+    let g = Benchmark::Cg.graph(64);
+    let cfg = RahtmConfig::fast();
+    let a = RahtmMapper::new(cfg.clone()).map(&machine, &g, None);
+    let b = RahtmMapper::new(cfg).map(&machine, &g, None);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.predicted_mcl, b.predicted_mcl);
+}
