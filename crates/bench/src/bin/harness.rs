@@ -116,7 +116,8 @@ fn table2_check() {
             enforce_minimal: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("Table II solve");
     let unique: std::collections::HashSet<_> = res.placement.iter().collect();
     println!(
         "  C1 (assignment)      : {} clusters on {} distinct vertices -> {}",
@@ -321,7 +322,7 @@ fn validate(scale: &Scale, cfg: &RahtmConfig) {
         scale.name
     );
     let mappings = MappingKind::paper_lineup(scale, cfg.clone());
-    let rows = run_validation(&scale, &mappings);
+    let rows = run_validation(scale, &mappings);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

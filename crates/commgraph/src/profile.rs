@@ -62,15 +62,83 @@ impl Profile {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+        use serde_json::Value;
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| {
+                Value::Object(vec![
+                    ("src".to_string(), Value::Number(f.src as f64)),
+                    ("dst".to_string(), Value::Number(f.dst as f64)),
+                    ("bytes".to_string(), Value::Number(f.bytes)),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("num_ranks".to_string(), Value::Number(self.num_ranks as f64)),
+            ("comm_fraction".to_string(), Value::Number(self.comm_fraction)),
+            ("iterations".to_string(), Value::Number(self.iterations as f64)),
+            ("flows".to_string(), Value::Array(flows)),
+        ]);
+        serde_json::to_string_pretty(&doc)
     }
 
     /// Parses from JSON.
     ///
     /// # Errors
-    /// Returns the underlying `serde_json` error for malformed input.
+    /// Returns the underlying `serde_json` error for malformed input or a
+    /// shape error when a required field is missing or mistyped.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+        use serde_json::{Error, Value};
+        let doc = serde_json::from_str(s)?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| Error::custom(format!("profile is missing field '{key}'")))
+        };
+        let num = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| Error::custom(format!("'{key}' must be a non-negative integer")))
+        };
+        let float = |v: &Value, key: &str| {
+            v.as_f64()
+                .ok_or_else(|| Error::custom(format!("'{key}' must be a number")))
+        };
+        let flows = field("flows")?
+            .as_array()
+            .ok_or_else(|| Error::custom("'flows' must be an array"))?
+            .iter()
+            .map(|f| {
+                let part = |key: &str| {
+                    f.get(key)
+                        .ok_or_else(|| Error::custom(format!("flow is missing field '{key}'")))
+                };
+                Ok(Flow {
+                    src: part("src")?
+                        .as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| Error::custom("flow 'src' must be a rank"))?,
+                    dst: part("dst")?
+                        .as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| Error::custom("flow 'dst' must be a rank"))?,
+                    bytes: float(part("bytes")?, "bytes")?,
+                })
+            })
+            .collect::<Result<Vec<Flow>, Error>>()?;
+        Ok(Profile {
+            name: field("name")?
+                .as_str()
+                .ok_or_else(|| Error::custom("'name' must be a string"))?
+                .to_string(),
+            num_ranks: u32::try_from(num("num_ranks")?)
+                .map_err(|_| Error::custom("'num_ranks' out of range"))?,
+            comm_fraction: float(field("comm_fraction")?, "comm_fraction")?,
+            iterations: u32::try_from(num("iterations")?)
+                .map_err(|_| Error::custom("'iterations' out of range"))?,
+            flows,
+        })
     }
 }
 

@@ -1,0 +1,99 @@
+//! Cooperative wall-clock budgets for solver loops.
+//!
+//! RAHTM's solvers historically used only deterministic budgets (pivot and
+//! node counts), which keep runs reproducible but make no promise in
+//! seconds. A [`Deadline`] adds the wall-clock half: a cheap `Copy` token
+//! created once at the pipeline entry and threaded by value through every
+//! phase — simplex pivots, branch-and-bound nodes, annealing sweeps, and
+//! the merge beam all poll `is_expired()` at loop granularity and return
+//! their best-so-far answer instead of running on. Deterministic budgets
+//! still apply independently; whichever limit trips first ends the loop.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget token, polled cooperatively inside solver loops.
+///
+/// `Deadline::never()` (the default) never expires, so threading the token
+/// unconditionally costs nothing when no time limit is set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn never() -> Self {
+        Deadline { expires_at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            expires_at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A deadline `seconds` from now (CLI convenience; saturates on
+    /// non-finite or absurd values instead of panicking).
+    pub fn after_secs(seconds: f64) -> Self {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Deadline::never();
+        }
+        Deadline::after(Duration::from_secs_f64(seconds.min(1e9)))
+    }
+
+    /// Whether the budget is spent. `false` forever for [`Deadline::never`].
+    #[inline]
+    pub fn is_expired(&self) -> bool {
+        match self.expires_at {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left, or `None` for an unlimited deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether this deadline carries a real time limit.
+    pub fn is_finite(&self) -> bool {
+        self.expires_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_expires() {
+        let d = Deadline::never();
+        assert!(!d.is_expired());
+        assert!(!d.is_finite());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::from_secs(0));
+        assert!(d.is_expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_not_expired_yet() {
+        let d = Deadline::after_secs(3600.0);
+        assert!(d.is_finite());
+        assert!(!d.is_expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn pathological_secs_mean_unlimited() {
+        assert!(!Deadline::after_secs(f64::NAN).is_finite());
+        assert!(!Deadline::after_secs(f64::INFINITY).is_finite());
+        assert!(!Deadline::after_secs(-5.0).is_finite());
+    }
+}

@@ -26,11 +26,14 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's math notation
 #![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod deadline;
 pub mod milp;
 pub mod problem;
 pub mod simplex;
 
+pub use deadline::Deadline;
 pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
 pub use problem::{Col, Problem, Row, Sense};
 pub use simplex::{solve_lp, LpStatus, SimplexOptions, Solution};

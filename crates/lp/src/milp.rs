@@ -2,10 +2,13 @@
 //!
 //! Depth-first traversal (good incumbents early, bounded memory) with
 //! best-bound pruning, most-fractional branching, and the nearest-integer
-//! child explored first. The node budget is deterministic — RAHTM never
-//! consults wall clocks inside algorithms — and an exhausted budget returns
-//! the best incumbent with [`MilpStatus::Feasible`], mirroring how the
-//! paper's authors would run CPLEX with a limit on hard instances.
+//! child explored first. Search is bounded two ways: a deterministic node
+//! budget (keeps runs reproducible) and an optional wall-clock
+//! [`Deadline`](crate::deadline::Deadline) carried in `opts.lp` (keeps runs
+//! inside a service-level time limit). Either limit returns the best
+//! incumbent with [`MilpStatus::Feasible`] — mirroring how the paper's
+//! authors would run CPLEX with a limit on hard instances — and a tripped
+//! deadline is reported via [`MilpResult::deadline_hit`].
 //!
 //! RAHTM seeds the search with a simulated-annealing incumbent
 //! (`initial_incumbent`), which both prunes aggressively and guarantees a
@@ -40,6 +43,10 @@ pub struct MilpResult {
     pub nodes: usize,
     /// Best lower bound on the optimum at termination (−∞ if unknown).
     pub best_bound: f64,
+    /// Whether the wall-clock deadline (not the node budget) cut the search
+    /// short. Lets callers distinguish "budget-shaped as configured" from
+    /// "out of time" when deciding how far to degrade.
+    pub deadline_hit: bool,
 }
 
 /// Solver knobs.
@@ -103,10 +110,17 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
     let mut nodes = 0usize;
     let mut open_bounds: Vec<f64> = Vec::new(); // bounds of pruned-by-budget subtrees
     let mut exhausted = false;
+    let mut deadline_hit = false;
 
     while let Some(node) = stack.pop() {
         if nodes >= opts.max_nodes {
             exhausted = true;
+            open_bounds.push(node.parent_bound);
+            continue; // drain remaining stack into open_bounds
+        }
+        if opts.lp.deadline.is_expired() {
+            exhausted = true;
+            deadline_hit = true;
             open_bounds.push(node.parent_bound);
             continue; // drain remaining stack into open_bounds
         }
@@ -145,6 +159,12 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
             LpStatus::IterLimit => {
                 open_bounds.push(node.parent_bound);
                 exhausted = true;
+                continue;
+            }
+            LpStatus::TimeLimit => {
+                open_bounds.push(node.parent_bound);
+                exhausted = true;
+                deadline_hit = true;
                 continue;
             }
             LpStatus::Optimal => {}
@@ -230,6 +250,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
             x,
             nodes,
             best_bound,
+            deadline_hit,
         },
         None => MilpResult {
             status: if exhausted {
@@ -241,6 +262,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
             x: Vec::new(),
             nodes,
             best_bound,
+            deadline_hit,
         },
     }
 }
@@ -422,6 +444,41 @@ mod tests {
         let full = solve_milp(&p, &MilpOptions::default());
         assert_eq!(full.status, MilpStatus::Optimal);
         assert_close(full.objective, -2.0); // floor(4/1.5) = 2 items
+    }
+
+    #[test]
+    fn expired_deadline_keeps_warm_incumbent() {
+        // With a pre-expired deadline the solver must return immediately,
+        // flag deadline_hit, and still hand back the warm incumbent.
+        let mut p = Problem::new();
+        let cols: Vec<_> = (0..6).map(|i| p.add_bin_col(&format!("x{i}"), -1.0)).collect();
+        let coeffs: Vec<_> = cols.iter().map(|&c| (c, 1.5)).collect();
+        p.add_row(Sense::Le, 4.0, &coeffs);
+        let mut inc = vec![0.0; 6];
+        inc[0] = 1.0;
+        let opts = MilpOptions {
+            lp: SimplexOptions {
+                deadline: crate::deadline::Deadline::after(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+            initial_incumbent: Some(inc.clone()),
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert!(r.deadline_hit);
+        assert_eq!(r.status, MilpStatus::Feasible);
+        assert_eq!(r.x, inc);
+        // without an incumbent it reports Unknown, still without panicking
+        let opts = MilpOptions {
+            lp: SimplexOptions {
+                deadline: crate::deadline::Deadline::after(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert!(r.deadline_hit);
+        assert_eq!(r.status, MilpStatus::Unknown);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! general-purpose sparse-LU code; see the crate docs for the scoping
 //! rationale.
 
+use crate::deadline::Deadline;
 use crate::problem::{Problem, Sense};
 
 /// Termination status of an LP solve.
@@ -26,6 +27,8 @@ pub enum LpStatus {
     Unbounded,
     /// Iteration budget exhausted before convergence.
     IterLimit,
+    /// Wall-clock deadline expired before convergence.
+    TimeLimit,
 }
 
 /// Result of an LP solve.
@@ -34,10 +37,10 @@ pub struct Solution {
     /// Termination status.
     pub status: LpStatus,
     /// Objective value (meaningful for `Optimal`; best-known for
-    /// `IterLimit` if feasible).
+    /// `IterLimit`/`TimeLimit` if feasible).
     pub objective: f64,
-    /// Structural variable values (empty unless `Optimal` or `IterLimit`
-    /// with a feasible basis).
+    /// Structural variable values (empty unless `Optimal`, or
+    /// `IterLimit`/`TimeLimit` with a feasible basis).
     pub x: Vec<f64>,
     /// Simplex iterations performed (both phases).
     pub iterations: usize,
@@ -54,7 +57,13 @@ pub struct SimplexOptions {
     pub cost_tol: f64,
     /// Refactorize the basis inverse every this many pivots.
     pub refactor_every: usize,
+    /// Wall-clock budget, polled every [`DEADLINE_CHECK_EVERY`] pivots.
+    pub deadline: Deadline,
 }
+
+/// Pivots between wall-clock polls (an `Instant::now()` call is ~20ns but a
+/// pivot on tiny sub-problems can be comparable, so polling is batched).
+pub const DEADLINE_CHECK_EVERY: usize = 64;
 
 impl Default for SimplexOptions {
     fn default() -> Self {
@@ -63,6 +72,7 @@ impl Default for SimplexOptions {
             feas_tol: 1e-7,
             cost_tol: 1e-9,
             refactor_every: 500,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -334,6 +344,9 @@ impl Tableau {
         let mut bland = false;
         let art_start = self.n_struct + m;
         while iters < budget {
+            if iters.is_multiple_of(DEADLINE_CHECK_EVERY) && opts.deadline.is_expired() {
+                return (LpStatus::TimeLimit, iters);
+            }
             if iters > 0 && opts.refactor_every > 0 && iters.is_multiple_of(opts.refactor_every) {
                 self.refactorize();
             }
@@ -533,9 +546,9 @@ impl Tableau {
             .filter(|(_, &j)| j >= self.n_struct + m)
             .map(|(k, _)| self.beta[k].max(0.0))
             .sum();
-        if s1 == LpStatus::IterLimit {
+        if s1 == LpStatus::IterLimit || s1 == LpStatus::TimeLimit {
             return Solution {
-                status: LpStatus::IterLimit,
+                status: s1,
                 objective: f64::NAN,
                 x: Vec::new(),
                 iterations: it1,
@@ -869,6 +882,25 @@ mod tests {
             },
         );
         assert_eq!(s.status, LpStatus::IterLimit);
+    }
+
+    #[test]
+    fn expired_deadline_reported_as_time_limit() {
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, f64::INFINITY, -1.0);
+        let y = p.add_col("y", 0.0, f64::INFINITY, -1.0);
+        p.add_row(Sense::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
+        let s = solve_lp(
+            &p,
+            &SimplexOptions {
+                deadline: crate::deadline::Deadline::after(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.status, LpStatus::TimeLimit);
+        // an unlimited deadline changes nothing
+        let s = solve_lp(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
     }
 
     #[test]

@@ -9,10 +9,15 @@
 //! the MILP budget entirely.
 
 use rahtm_commgraph::CommGraph;
+use rahtm_lp::Deadline;
 use rahtm_routing::{route_graph, Routing};
 use rahtm_topology::{NodeId, Torus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// How many proposals run between wall-clock deadline polls. Checking
+/// `Instant::now()` per proposal would dominate the cheap move evaluation.
+const DEADLINE_CHECK_EVERY: usize = 256;
 
 /// Annealing knobs.
 #[derive(Clone, Debug)]
@@ -27,6 +32,10 @@ pub struct AnnealOptions {
     pub seed: u64,
     /// Routing model used for scoring.
     pub routing: Routing,
+    /// Wall-clock budget: polled every [`DEADLINE_CHECK_EVERY`] proposals;
+    /// on expiry the best placement found so far is returned. The default
+    /// never expires, keeping runs deterministic.
+    pub deadline: Deadline,
 }
 
 impl Default for AnnealOptions {
@@ -37,6 +46,7 @@ impl Default for AnnealOptions {
             t_end_frac: 1e-3,
             seed: 0x5eed,
             routing: Routing::UniformMinimal,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -90,7 +100,12 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
     let cool = (t_end / t0).powf(1.0 / opts.iterations as f64);
     let mut temp = t0;
 
-    for _ in 0..opts.iterations {
+    let mut done = 0usize;
+    for it in 0..opts.iterations {
+        if it.is_multiple_of(DEADLINE_CHECK_EVERY) && opts.deadline.is_expired() {
+            break;
+        }
+        done = it + 1;
         // propose swapping the contents of two vertices (at least one
         // occupied, otherwise it's a no-op)
         let va = rng.gen_range(0..v);
@@ -136,7 +151,7 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
     AnnealResult {
         placement: best_placement,
         mcl: best,
-        iterations: opts.iterations,
+        iterations: done,
     }
 }
 
@@ -185,6 +200,25 @@ mod tests {
         let r = anneal_map(&cube, &g, &AnnealOptions::default());
         assert_eq!(r.placement, vec![0]);
         assert_eq!(r.mcl, 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_valid_placement_immediately() {
+        let cube = Torus::two_ary_cube(3);
+        let g = patterns::random(8, 20, 1.0, 10.0, 3);
+        let r = anneal_map(
+            &cube,
+            &g,
+            &AnnealOptions {
+                deadline: Deadline::after_secs(0.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.iterations, 0, "no proposals under an expired deadline");
+        let set: std::collections::HashSet<_> = r.placement.iter().collect();
+        assert_eq!(set.len(), 8, "placement must still be injective");
+        let check = route_graph(&cube, &g, &r.placement, Routing::UniformMinimal).mcl(&cube);
+        assert!((r.mcl - check).abs() < 1e-12);
     }
 
     #[test]

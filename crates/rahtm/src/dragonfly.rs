@@ -42,7 +42,7 @@ impl Dragonfly {
     /// # Panics
     /// Panics unless `a` is even, `a ≥ 2`, and `g ≥ 2`.
     pub fn balanced(a: u32, g: u32) -> Self {
-        assert!(a >= 2 && a % 2 == 0 && g >= 2);
+        assert!(a >= 2 && a.is_multiple_of(2) && g >= 2);
         let h = a / 2;
         Dragonfly {
             nodes_per_router: a / 2,
@@ -175,7 +175,7 @@ pub struct DragonflyMapping {
 pub fn dragonfly_map(df: &Dragonfly, graph: &CommGraph, grid: &RankGrid) -> DragonflyMapping {
     let r = graph.num_ranks();
     let n = df.num_nodes();
-    assert!(r >= n && r % n == 0, "ranks must fill nodes");
+    assert!(r >= n && r.is_multiple_of(n), "ranks must fill nodes");
     let conc = r / n;
     assert_eq!(grid.num_ranks(), r);
 
@@ -290,7 +290,7 @@ mod tests {
         let n = df.num_nodes();
         let mut g = CommGraph::new(n);
         // node 0 (group 0) -> node in group 1
-        let target = 8 * df.nodes_per_router * 0 + df.nodes_per_router * df.routers_per_group; // first node of group 1
+        let target = df.nodes_per_router * df.routers_per_group; // first node of group 1
         g.add(0, target, 12.0);
         let place: Vec<u32> = (0..n).collect();
         let mcl = df.mcl(&g, &place);

@@ -173,7 +173,7 @@ pub struct FatTreeMapping {
 pub fn fattree_map(tree: &FatTree, graph: &CommGraph, grid: &RankGrid) -> FatTreeMapping {
     let r = graph.num_ranks();
     let leaves = tree.num_leaves();
-    assert!(r >= leaves && r % leaves == 0, "ranks must fill leaves");
+    assert!(r >= leaves && r.is_multiple_of(leaves), "ranks must fill leaves");
     let conc = r / leaves;
     assert_eq!(grid.num_ranks(), r);
 
@@ -247,10 +247,11 @@ fn sibling_index(per_level: &[Vec<Rank>], level: usize, tree: &FatTree, cluster:
         return cluster % tree.arity[tree.levels() - 1];
     }
     // parent of `cluster`: find any rank in the cluster, read next level
-    let rank = per_level[level]
-        .iter()
-        .position(|&c| c == cluster)
-        .expect("cluster non-empty");
+    let rank = match per_level[level].iter().position(|&c| c == cluster) {
+        Some(r) => r,
+        // clusters are built from per_level itself, so every id occurs
+        None => unreachable!("cluster absent from its own level"),
+    };
     let parent = per_level[level + 1][rank];
     // siblings: clusters at this level whose parent matches, ordered by id
     let mut siblings: Vec<Rank> = Vec::new();
@@ -260,7 +261,8 @@ fn sibling_index(per_level: &[Vec<Rank>], level: usize, tree: &FatTree, cluster:
         }
     }
     siblings.sort_unstable();
-    siblings.iter().position(|&c| c == cluster).unwrap() as u32
+    // `cluster` is one of its own siblings by construction
+    siblings.iter().position(|&c| c == cluster).map_or(0, |i| i as u32)
 }
 
 /// The default fat-tree mapping: rank r → leaf r / concentration.

@@ -34,12 +34,15 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's math notation
 #![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod anneal;
 pub mod block;
 pub mod cluster;
 pub mod dragonfly;
+pub mod error;
 pub mod fattree;
+pub mod fault;
 pub mod mapping;
 pub mod merge;
 pub mod milp;
@@ -47,5 +50,7 @@ pub mod opportunity;
 pub mod pipeline;
 pub mod refine;
 
+pub use error::RahtmError;
+pub use fault::{Fault, FaultPlan};
 pub use mapping::TaskMapping;
-pub use pipeline::{RahtmConfig, RahtmMapper, RahtmResult};
+pub use pipeline::{DegradationReport, RahtmConfig, RahtmMapper, RahtmResult};

@@ -19,6 +19,7 @@
 
 use crate::block::Block;
 use rahtm_commgraph::{CommGraph, Rank};
+use rahtm_lp::Deadline;
 use rahtm_routing::{route_flow, ChannelLoads, Routing};
 use rahtm_topology::{ChannelId, Coord, NodeId, Orientation, Torus};
 
@@ -40,6 +41,11 @@ pub struct MergeOptions {
     /// machine-level merge of whole slices, where re-routing every flow
     /// per candidate makes the full group intractable.
     pub full_group_member_limit: usize,
+    /// Wall-clock budget: checked on entry and between beam steps. On
+    /// expiry the search stops and any still-unplaced child keeps its
+    /// identity orientation — a valid (if unoptimized) composition is
+    /// always returned. The default never expires.
+    pub deadline: Deadline,
 }
 
 impl Default for MergeOptions {
@@ -49,6 +55,7 @@ impl Default for MergeOptions {
             routing: Routing::UniformMinimal,
             proper_rotations_only: false,
             full_group_member_limit: 64,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -71,6 +78,9 @@ pub struct MergeResult {
     pub mcl: f64,
     /// Orientation candidates evaluated.
     pub candidates_evaluated: usize,
+    /// Whether the wall-clock deadline cut the orientation search short
+    /// (unsearched children were composed with identity orientation).
+    pub deadline_hit: bool,
 }
 
 struct BeamEntry {
@@ -95,8 +105,11 @@ pub fn merge_blocks(
     opts: &MergeOptions,
 ) -> MergeResult {
     assert!(!children.is_empty());
-    // Trivial cases: single child or no orientation freedom anywhere.
-    if children.iter().all(|c| c.block.is_unit()) || children.len() == 1 {
+    // Trivial cases: single child or no orientation freedom anywhere. An
+    // already-expired deadline takes the same path: identity composition
+    // is the merge ladder's bottom rung and costs one routing pass.
+    let expired_on_entry = opts.deadline.is_expired();
+    if children.iter().all(|c| c.block.is_unit()) || children.len() == 1 || expired_on_entry {
         let composed = Block::compose(
             parent_origin,
             parent_extent,
@@ -110,6 +123,7 @@ pub fn merge_blocks(
             block: composed,
             mcl,
             candidates_evaluated: 0,
+            deadline_hit: expired_on_entry,
         };
     }
 
@@ -241,14 +255,16 @@ pub fn merge_blocks(
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("merge worker panicked"))
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                })
                 .collect()
         })
-        .expect("crossbeam scope");
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
         candidates_evaluated += ranked.len();
         ranked.sort_by(|x, y| {
-            x.0.partial_cmp(&y.0)
-                .unwrap()
+            x.0.total_cmp(&y.0)
                 .then(x.1.cmp(&y.1))
                 .then(x.2.cmp(&y.2))
         });
@@ -280,8 +296,15 @@ pub fn merge_blocks(
     }
 
     // --- Subsequent blocks: incoming orientations × beam entries. ---
+    let mut deadline_hit = false;
     let mut placed: Vec<usize> = vec![a, b];
     for &next in order.iter().skip(2) {
+        if opts.deadline.is_expired() {
+            // out of time: children not yet searched keep their identity
+            // orientation (filled in below)
+            deadline_hit = true;
+            break;
+        }
         // flows incident to `next` with the other endpoint placed or
         // internal to `next`
         let placed_mask: Vec<bool> = {
@@ -370,14 +393,16 @@ pub fn merge_blocks(
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("merge worker panicked"))
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                })
                 .collect()
         })
-        .expect("crossbeam scope");
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
         candidates_evaluated += ranked.len();
         ranked.sort_by(|x, y| {
-            x.0.partial_cmp(&y.0)
-                .unwrap()
+            x.0.total_cmp(&y.0)
                 .then(x.1.cmp(&y.1))
                 .then(x.2.cmp(&y.2))
         });
@@ -421,11 +446,27 @@ pub fn merge_blocks(
         placed.push(next);
     }
 
-    // best entry -> composed parent block
-    let best = beam
+    // best entry -> composed parent block; children the (possibly
+    // deadline-cut) search never placed fall back to identity orientation
+    let identity_choice: Vec<usize> = orient_sets
         .iter()
-        .min_by(|x, y| x.mcl.partial_cmp(&y.mcl).unwrap())
-        .expect("beam cannot be empty");
+        .map(|os| {
+            os.iter()
+                .position(|o| (0..o.ndims()).all(|d| o.perm(d) == d && !o.flipped(d)))
+                .unwrap_or(0)
+        })
+        .collect();
+    let best_choices: Vec<usize> = match beam.iter().min_by(|x, y| x.mcl.total_cmp(&y.mcl)) {
+        Some(best) => best
+            .choices
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if c == UNSET { identity_choice[i] } else { c })
+            .collect(),
+        // beam is non-empty by construction (the first pair always yields
+        // at least one entry); identity everywhere is the safe fallback
+        None => identity_choice.clone(),
+    };
     let composed = Block::compose(
         parent_origin,
         parent_extent,
@@ -433,15 +474,19 @@ pub fn merge_blocks(
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let o = &orient_sets[i][best.choices[i]];
+                let o = &orient_sets[i][best_choices[i]];
                 (c.block.reoriented(o), c.origin)
             })
             .collect::<Vec<_>>(),
     );
+    // a deadline-cut search composed children its beam never scored, so
+    // recompute the MCL of what was actually built
+    let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing);
     MergeResult {
         block: composed,
-        mcl: best.mcl,
+        mcl,
         candidates_evaluated,
+        deadline_hit,
     }
 }
 
@@ -525,7 +570,7 @@ fn merge_order(
         }
     }
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&x, &y| avg[y].partial_cmp(&avg[x]).unwrap().then(x.cmp(&y)));
+    order.sort_by(|&x, &y| avg[y].total_cmp(&avg[x]).then(x.cmp(&y)));
     order
 }
 
@@ -748,6 +793,42 @@ mod tests {
         assert_eq!(flips.candidates_evaluated, 4 * 4);
         // restricted search can never beat the full one
         assert!(full.mcl <= flips.mcl + 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_composes_identity_and_reports_it() {
+        let topo = Torus::mesh(&[4, 2]);
+        let g = patterns::random(8, 20, 1.0, 5.0, 3);
+        let children: Vec<PositionedBlock> = (0..2)
+            .map(|h| PositionedBlock {
+                block: Block {
+                    extent: c(&[2, 2]),
+                    members: (0..4)
+                        .map(|i| (h * 4 + i, c(&[(i / 2) as u16, (i % 2) as u16])))
+                        .collect(),
+                },
+                origin: c(&[h as u16 * 2, 0]),
+            })
+            .collect();
+        let r = merge_blocks(
+            &topo,
+            &g,
+            &children,
+            &c(&[0, 0]),
+            &c(&[4, 2]),
+            &MergeOptions {
+                deadline: Deadline::after_secs(0.0),
+                ..Default::default()
+            },
+        );
+        assert!(r.deadline_hit, "expired deadline must be reported");
+        assert_eq!(r.candidates_evaluated, 0, "no search under a dead clock");
+        assert_eq!(r.block.members.len(), 8, "composition must still be complete");
+        let coords: std::collections::HashSet<_> =
+            r.block.members.iter().map(|&(_, x)| x).collect();
+        assert_eq!(coords.len(), 8);
+        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal);
+        assert!((r.mcl - check).abs() < 1e-9);
     }
 
     #[test]

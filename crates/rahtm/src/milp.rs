@@ -19,6 +19,7 @@
 //! whether the optimum used minimal routing (it reports `minimal` in the
 //! result). Tests exercise both settings; Table II is implemented in full.
 
+use crate::error::RahtmError;
 use rahtm_commgraph::CommGraph;
 use rahtm_lp::{solve_milp, Col, MilpOptions, MilpStatus, Problem, Sense};
 use rahtm_routing::{route_graph, ChannelLoads, Routing};
@@ -64,18 +65,40 @@ pub struct MilpMapResult {
     pub minimal: bool,
     /// Branch-and-bound nodes processed.
     pub nodes: usize,
+    /// Whether the solve ended because the wall-clock deadline in
+    /// `opts.milp.lp.deadline` expired (the result is then the best
+    /// incumbent, not a proven optimum).
+    pub deadline_hit: bool,
 }
 
 /// Solves the Table II MILP mapping `graph` onto `cube`.
 ///
-/// # Panics
-/// Panics if the graph has more clusters than the cube has vertices, or if
-/// the instance exceeds the intended sub-problem scale (64 vertices).
-pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpMapResult {
+/// # Errors
+/// [`RahtmError::InvalidInput`] if the graph has more clusters than the
+/// cube has vertices or the instance exceeds the intended sub-problem
+/// scale (64 vertices); [`RahtmError::Infeasible`] if branch-and-bound
+/// ends infeasible or unknown with no usable incumbent (cannot happen for
+/// a well-formed Table II instance, but the degradation ladder in
+/// [`crate::pipeline`] handles it anyway).
+pub fn milp_map(
+    cube: &Torus,
+    graph: &CommGraph,
+    opts: &MilpMapOptions,
+) -> Result<MilpMapResult, RahtmError> {
     let a = graph.num_ranks() as usize;
     let v = cube.num_nodes() as usize;
-    assert!(a <= v, "more clusters than vertices");
-    assert!(v <= 64, "Table II solves are leaf-scale (<= 64 vertices)");
+    let mut problems = Vec::new();
+    if a > v {
+        problems.push(format!("{a} clusters cannot map onto {v} vertices"));
+    }
+    if v > 64 {
+        problems.push(format!(
+            "Table II solves are leaf-scale (<= 64 vertices), got {v}"
+        ));
+    }
+    if !problems.is_empty() {
+        return Err(RahtmError::invalid(problems));
+    }
     let channels: Vec<Channel> = cube.channels().collect();
     let ne = channels.len();
     let flows = graph.flows();
@@ -165,8 +188,8 @@ pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpM
     if opts.symmetry_break && a > 0 {
         let vols = graph.rank_volumes();
         let heaviest = (0..a)
-            .max_by(|&x, &y| vols[x].partial_cmp(&vols[y]).unwrap())
-            .unwrap();
+            .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
+            .unwrap_or(0);
         for vi in 0..v {
             let want = if vi == 0 { 1.0 } else { 0.0 };
             p.set_bounds(g[heaviest][vi], want, want);
@@ -193,8 +216,8 @@ pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpM
         let fallback: Vec<NodeId> = if opts.symmetry_break && a > 0 {
             let vols = graph.rank_volumes();
             let heaviest = (0..a)
-                .max_by(|&x, &y| vols[x].partial_cmp(&vols[y]).unwrap())
-                .unwrap();
+                .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
+                .unwrap_or(0);
             // heaviest at vertex 0, the rest in order on remaining vertices
             let mut placement = vec![0 as NodeId; a];
             let mut next = 1 as NodeId;
@@ -229,7 +252,14 @@ pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpM
                         break;
                     }
                 }
-                placement[ai] = found.expect("C1 guarantees an assignment");
+                placement[ai] = match found {
+                    Some(vi) => vi,
+                    None => {
+                        return Err(RahtmError::internal(format!(
+                            "C1 row violated: cluster {ai} has no assigned vertex"
+                        )))
+                    }
+                };
             }
             (
                 placement,
@@ -238,7 +268,18 @@ pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpM
                 res.nodes,
             )
         }
-        other => panic!("Table II MILP cannot be infeasible/unknown: {other:?}"),
+        // A well-formed Table II instance always has a feasible assignment,
+        // but a budgeted/timed solve without an incumbent ends Unknown and
+        // a faulty model would end Infeasible — both become typed errors
+        // for the degradation ladder instead of a crash.
+        other => {
+            return Err(RahtmError::Infeasible {
+                context: format!(
+                    "Table II solve ended {other:?} after {} nodes ({a} clusters on {v} vertices)",
+                    res.nodes
+                ),
+            })
+        }
     };
     // Post-hoc minimality check: total deposited load vs Σ l·dist.
     let minimal = if opts.enforce_minimal {
@@ -257,13 +298,14 @@ pub fn milp_map(cube: &Torus, graph: &CommGraph, opts: &MilpMapOptions) -> MilpM
             .sum();
         total <= lower + 1e-6 * lower.max(1.0)
     };
-    MilpMapResult {
+    Ok(MilpMapResult {
         placement,
         mcl,
         proven_optimal: proven,
         minimal,
         nodes,
-    }
+        deadline_hit: res.deadline_hit,
+    })
 }
 
 /// Builds a complete feasible MILP point from a placement by routing each
@@ -356,7 +398,8 @@ mod tests {
                 enforce_minimal: true,
                 ..quick_opts()
             },
-        );
+        )
+        .unwrap();
         assert!(r.proven_optimal);
         assert_eq!(cube.distance(r.placement[0], r.placement[1]), 2);
         // optimal MCL: ~49.5 of the heavy flow + light traffic = 51.5
@@ -371,7 +414,7 @@ mod tests {
         // the reason the paper includes C3 for minimal-routing hardware).
         let cube = Torus::mesh(&[2, 2]);
         let g = patterns::figure1(100.0, 1.0);
-        let relaxed = milp_map(&cube, &g, &quick_opts());
+        let relaxed = milp_map(&cube, &g, &quick_opts()).unwrap();
         let strict = milp_map(
             &cube,
             &g,
@@ -379,7 +422,8 @@ mod tests {
                 enforce_minimal: true,
                 ..quick_opts()
             },
-        );
+        )
+        .unwrap();
         assert!(strict.minimal);
         assert!(relaxed.mcl <= strict.mcl + 1e-6);
         assert!((relaxed.mcl - 50.5).abs() < 1e-4, "relaxed={}", relaxed.mcl);
@@ -392,7 +436,7 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let g = patterns::random(4, 8, 1.0, 20.0, seed);
             let sa = anneal_map(&cube, &g, &AnnealOptions::default());
-            let milp = milp_map(&cube, &g, &quick_opts());
+            let milp = milp_map(&cube, &g, &quick_opts()).unwrap();
             // MILP objective is an optimal-split MCL; the SA MCL uses
             // uniform splitting, so MILP's objective must be <= SA's.
             assert!(
@@ -417,7 +461,8 @@ mod tests {
                 enforce_minimal: true,
                 ..quick_opts()
             },
-        );
+        )
+        .unwrap();
         let mut best = f64::INFINITY;
         let perms = permutations(4);
         for perm in &perms {
@@ -450,7 +495,7 @@ mod tests {
             symmetry_break: false,
             ..quick_opts()
         };
-        let r = milp_map(&cube, &g, &opts);
+        let r = milp_map(&cube, &g, &opts).unwrap();
         // with a 1-node budget the incumbent guarantees a usable answer
         assert_eq!(r.placement.len(), 4);
         let set: std::collections::HashSet<_> = r.placement.iter().collect();
@@ -461,7 +506,7 @@ mod tests {
     fn fewer_clusters_than_vertices() {
         let cube = Torus::two_ary_cube(3);
         let g = patterns::ring(5, 4.0);
-        let r = milp_map(&cube, &g, &quick_opts());
+        let r = milp_map(&cube, &g, &quick_opts()).unwrap();
         let set: std::collections::HashSet<_> = r.placement.iter().collect();
         assert_eq!(set.len(), 5);
         assert!(r.mcl > 0.0);
@@ -472,9 +517,50 @@ mod tests {
         // On the double-wide 2-ary root, the same traffic yields half the
         // normalized MCL of the plain cube.
         let g = patterns::ring(4, 8.0);
-        let plain = milp_map(&Torus::two_ary_cube(2), &g, &quick_opts());
-        let root = milp_map(&Torus::two_ary_root(2), &g, &quick_opts());
+        let plain = milp_map(&Torus::two_ary_cube(2), &g, &quick_opts()).unwrap();
+        let root = milp_map(&Torus::two_ary_root(2), &g, &quick_opts()).unwrap();
         assert!(root.mcl <= plain.mcl / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn oversized_instances_are_typed_errors_not_panics() {
+        // more clusters than vertices AND above leaf scale: both problems
+        // must be collected into one InvalidInput
+        let cube = Torus::mesh(&[16, 16]);
+        let g = patterns::ring(300, 1.0);
+        match milp_map(&cube, &g, &quick_opts()) {
+            Err(crate::error::RahtmError::InvalidInput { problems }) => {
+                assert_eq!(problems.len(), 2, "{problems:?}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_incumbent_with_flag() {
+        let cube = Torus::two_ary_cube(2);
+        let g = patterns::random(4, 8, 1.0, 20.0, 5);
+        let sa = anneal_map(&cube, &g, &AnnealOptions::default());
+        let r = milp_map(
+            &cube,
+            &g,
+            &MilpMapOptions {
+                incumbent: Some(sa.placement.clone()),
+                symmetry_break: false,
+                milp: MilpOptions {
+                    lp: SimplexOptions {
+                        deadline: rahtm_lp::Deadline::after_secs(0.0),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..quick_opts()
+            },
+        )
+        .unwrap();
+        assert!(r.deadline_hit, "zero deadline must be reported");
+        assert_eq!(r.placement, sa.placement, "incumbent survives the timeout");
+        assert!(!r.proven_optimal);
     }
 
     fn permutations(n: usize) -> Vec<Vec<usize>> {

@@ -24,16 +24,19 @@
 use crate::anneal::{anneal_map, AnnealOptions};
 use crate::block::Block;
 use crate::cluster::{build_hierarchy_with, cluster_level, cluster_level_with, LevelClustering};
+use crate::error::{panic_message, RahtmError};
+use crate::fault::{Fault, FaultPlan};
 use crate::mapping::TaskMapping;
 use crate::merge::{merge_blocks, MergeOptions, PositionedBlock};
 use crate::milp::{milp_map, MilpMapOptions};
 use rahtm_commgraph::{CommGraph, Rank, RankGrid};
-use rahtm_lp::{MilpOptions, SimplexOptions};
+use rahtm_lp::{Deadline, MilpOptions, SimplexOptions};
 use rahtm_routing::{route_graph, Routing};
 use rahtm_topology::{BgqMachine, Coord, NodeId, SubCube, Torus};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -65,6 +68,17 @@ pub struct RahtmConfig {
     pub polish_swaps: usize,
     /// RNG seed for annealing.
     pub seed: u64,
+    /// Wall-clock budget for the whole run (`None` = unlimited, fully
+    /// deterministic). When set, a [`Deadline`] is threaded through every
+    /// solver loop; phases that run out of time take the degradation
+    /// ladder (MILP → annealing incumbent → greedy placement, beam merge →
+    /// identity composition) and the downgrades are recorded in
+    /// [`PhaseStats::degradation`]. A valid mapping is returned even for a
+    /// zero budget.
+    pub time_limit: Option<Duration>,
+    /// Deterministic fault injection for tests (`None` in production).
+    /// See [`crate::fault`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RahtmConfig {
@@ -81,6 +95,8 @@ impl Default for RahtmConfig {
             tiling_search: true,
             polish_swaps: 0,
             seed: 0xAB1E,
+            time_limit: None,
+            fault_plan: None,
         }
     }
 }
@@ -95,6 +111,52 @@ impl RahtmConfig {
             anneal_iters: 4_000,
             ..Default::default()
         }
+    }
+}
+
+/// Per-ladder-level accounting of how sub-problems were actually solved,
+/// and every fallback the run took. A report with `total_downgrades() == 0`
+/// means the pipeline delivered exactly what the configuration asked for;
+/// anything else tells the operator which quality was traded for meeting
+/// the time budget (or for surviving a fault).
+#[derive(Clone, Debug, Default)]
+pub struct DegradationReport {
+    /// Sub-problems answered by the Table II MILP within budget.
+    pub milp: usize,
+    /// Sub-problems answered by the simulated-annealing incumbent (the
+    /// configured path when `use_milp` is off; a downgrade otherwise).
+    pub anneal: usize,
+    /// Sub-problems answered by the greedy bottom rung (deadline expired
+    /// before annealing could run).
+    pub greedy: usize,
+    /// Solves that landed below the configured top level.
+    pub downgraded: usize,
+    /// Merges that stopped their orientation search on deadline expiry
+    /// and composed remaining children with identity orientation.
+    pub identity_merges: usize,
+    /// Slice workers that panicked and whose slice was re-solved
+    /// sequentially on the fallback path.
+    pub salvaged_workers: usize,
+    /// One human-readable line per degradation event, in occurrence order
+    /// (per slice; slices run concurrently).
+    pub events: Vec<String>,
+}
+
+impl DegradationReport {
+    /// Total fallbacks of any kind taken during the run.
+    pub fn total_downgrades(&self) -> usize {
+        self.downgraded + self.identity_merges + self.salvaged_workers
+    }
+
+    /// Accumulates another report (per-slice worker reports).
+    pub fn absorb(&mut self, other: &DegradationReport) {
+        self.milp += other.milp;
+        self.anneal += other.anneal;
+        self.greedy += other.greedy;
+        self.downgraded += other.downgraded;
+        self.identity_merges += other.identity_merges;
+        self.salvaged_workers += other.salvaged_workers;
+        self.events.extend(other.events.iter().cloned());
     }
 }
 
@@ -117,6 +179,9 @@ pub struct PhaseStats {
     pub merge_candidates: usize,
     /// Parent merges answered by the translation-symmetry cache.
     pub merge_cache_hits: usize,
+    /// Which ladder level answered each sub-problem, and every fallback
+    /// taken (time budget or fault).
+    pub degradation: DegradationReport,
 }
 
 impl PhaseStats {
@@ -132,6 +197,7 @@ impl PhaseStats {
         self.milp_nodes += other.milp_nodes;
         self.merge_candidates += other.merge_candidates;
         self.merge_cache_hits += other.merge_cache_hits;
+        self.degradation.absorb(&other.degradation);
     }
 }
 
@@ -163,28 +229,102 @@ impl RahtmMapper {
     /// Maps `graph`'s ranks onto `machine`. `grid` is the application's
     /// logical rank grid; `None` uses a near-square 2-D grid.
     ///
+    /// Convenience wrapper over [`RahtmMapper::run`] for callers that
+    /// treat any failure as fatal (examples, benches).
+    ///
     /// # Panics
-    /// Panics if the rank count is not `nodes × concentration` for some
-    /// integer concentration within the machine's capacity.
+    /// Panics on any [`RahtmError`] — prefer [`RahtmMapper::run`] in code
+    /// that must not crash.
     pub fn map(
         &self,
         machine: &BgqMachine,
         graph: &CommGraph,
         grid: Option<RankGrid>,
     ) -> RahtmResult {
+        match self.run(machine, graph, grid) {
+            Ok(res) => res,
+            Err(e) => panic!("RAHTM pipeline failed: {e}"),
+        }
+    }
+
+    /// Checks that `(machine, graph, grid)` form a mappable instance,
+    /// reporting **every** problem found in one
+    /// [`RahtmError::InvalidInput`] rather than stopping at the first.
+    pub fn validate(
+        &self,
+        machine: &BgqMachine,
+        graph: &CommGraph,
+        grid: Option<&RankGrid>,
+    ) -> Result<(), RahtmError> {
+        let topo = machine.torus();
+        let r = graph.num_ranks();
+        let m = topo.num_nodes();
+        let mut problems = Vec::new();
+        if r == 0 {
+            problems.push("workload has zero ranks".to_string());
+        } else if r < m {
+            problems.push(format!(
+                "{r} ranks cannot fill {m} nodes (fewer ranks than nodes)"
+            ));
+        } else if !r.is_multiple_of(m) {
+            problems.push(format!(
+                "{r} ranks do not fill {m} nodes uniformly (not a multiple)"
+            ));
+        } else {
+            let conc = r / m;
+            if conc > machine.concentration() {
+                problems.push(format!(
+                    "needs concentration {conc} > machine capacity {} cores/node",
+                    machine.concentration()
+                ));
+            }
+        }
+        if let Some(g) = grid {
+            if g.num_ranks() != r {
+                problems.push(format!(
+                    "grid {:?} covers {} ranks but the workload has {r}",
+                    g.dims(),
+                    g.num_ranks()
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(RahtmError::invalid(problems))
+        }
+    }
+
+    /// Runs the pipeline: always a valid mapping or a typed error, never a
+    /// panic, never an unbounded run (set [`RahtmConfig::time_limit`]).
+    ///
+    /// Solver-level trouble — a timed-out or infeasible MILP, an expired
+    /// merge budget, even a panicking slice worker — is absorbed by the
+    /// degradation ladder and recorded in
+    /// [`PhaseStats::degradation`]; only unmappable inputs
+    /// ([`RahtmError::InvalidInput`]), a twice-panicking slice
+    /// ([`RahtmError::WorkerPanic`]), or a broken internal invariant
+    /// ([`RahtmError::Internal`]) surface as errors.
+    ///
+    /// # Errors
+    /// See above; no other variant is returned from this entry point.
+    pub fn run(
+        &self,
+        machine: &BgqMachine,
+        graph: &CommGraph,
+        grid: Option<RankGrid>,
+    ) -> Result<RahtmResult, RahtmError> {
+        self.validate(machine, graph, grid.as_ref())?;
         let cfg = &self.config;
         let topo = machine.torus();
         let r = graph.num_ranks();
         let m = topo.num_nodes();
-        assert!(r >= m && r.is_multiple_of(m), "ranks {r} must be a multiple of nodes {m}");
         let conc = r / m;
-        assert!(
-            conc <= machine.concentration(),
-            "needs concentration {conc} > machine capacity {}",
-            machine.concentration()
-        );
         let grid = grid.unwrap_or_else(|| RankGrid::near_square(r));
-        assert_eq!(grid.num_ranks(), r, "grid does not cover all ranks");
+        let deadline = match cfg.time_limit {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::never(),
+        };
 
         let mut stats = PhaseStats::default();
 
@@ -204,84 +344,143 @@ impl RahtmMapper {
         // crossbeam scoped threads sharing the sub-problem cache) ----
         let cache: Mutex<HashMap<SubKey, Vec<NodeId>>> = Mutex::new(HashMap::new());
         let merge_cache: Mutex<HashMap<MergeKey, Vec<Coord>>> = Mutex::new(HashMap::new());
-        let mut slice_results: Vec<(PositionedBlock, PhaseStats)> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (si, slice) in slices.iter().enumerate() {
-                    let members = &slice_members[si];
-                    let sgrid = &slice_grids[si];
-                    let g_node = &g_node;
-                    let cache = &cache;
-                    let merge_cache = &merge_cache;
-                    handles.push(scope.spawn(move |_| {
+        type SliceOutcome =
+            Result<(PositionedBlock, PhaseStats), Box<dyn std::any::Any + Send + 'static>>;
+        let slice_results: Vec<SliceOutcome> = match crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (si, slice) in slices.iter().enumerate() {
+                let members = &slice_members[si];
+                let sgrid = &slice_grids[si];
+                let g_node = &g_node;
+                let cache = &cache;
+                let merge_cache = &merge_cache;
+                handles.push(scope.spawn(move |_| {
+                    let mut local_stats = PhaseStats::default();
+                    let g_slice = g_node.induced(members);
+                    let block = self.solve_slice(
+                        machine,
+                        slice,
+                        &g_slice,
+                        sgrid,
+                        members,
+                        g_node,
+                        cache,
+                        merge_cache,
+                        &mut local_stats,
+                        deadline,
+                    );
+                    (block, local_stats)
+                }));
+            }
+            // join() captures worker panics as Err payloads instead of
+            // taking the whole run down; salvage happens below
+            handles.into_iter().map(|h| h.join()).collect()
+        }) {
+            Ok(v) => v,
+            Err(p) => {
+                return Err(RahtmError::internal(format!(
+                    "slice scope panicked: {}",
+                    panic_message(p.as_ref())
+                )))
+            }
+        };
+        let mut slice_blocks: Vec<PositionedBlock> = Vec::new();
+        for (si, outcome) in slice_results.into_iter().enumerate() {
+            match outcome {
+                Ok((block, local)) => {
+                    slice_blocks.push(block);
+                    stats.absorb(&local);
+                }
+                Err(payload) => {
+                    // Panic isolation: the other slices' work is already
+                    // salvaged above; re-solve only the failed slice,
+                    // sequentially, on the fallback path. A second panic
+                    // becomes a typed error.
+                    let msg = panic_message(payload.as_ref());
+                    stats.degradation.salvaged_workers += 1;
+                    stats.degradation.events.push(format!(
+                        "slice {si}: worker panicked ({msg}); re-solved sequentially"
+                    ));
+                    let retry = catch_unwind(AssertUnwindSafe(|| {
                         let mut local_stats = PhaseStats::default();
-                        let g_slice = g_node.induced(members);
+                        let g_slice = g_node.induced(&slice_members[si]);
                         let block = self.solve_slice(
                             machine,
-                            slice,
+                            &slices[si],
                             &g_slice,
-                            sgrid,
-                            members,
-                            g_node,
-                            cache,
-                            merge_cache,
+                            &slice_grids[si],
+                            &slice_members[si],
+                            &g_node,
+                            &cache,
+                            &merge_cache,
                             &mut local_stats,
+                            deadline,
                         );
                         (block, local_stats)
                     }));
+                    match retry {
+                        Ok((block, local)) => {
+                            slice_blocks.push(block);
+                            stats.absorb(&local);
+                        }
+                        Err(p2) => {
+                            return Err(RahtmError::WorkerPanic {
+                                slice: si,
+                                message: panic_message(p2.as_ref()),
+                            })
+                        }
+                    }
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("slice worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
-        let mut slice_blocks: Vec<PositionedBlock> = Vec::new();
-        for (block, local) in slice_results.drain(..) {
-            slice_blocks.push(block);
-            stats.absorb(&local);
+            }
         }
 
         // ---- Final slice merge ----
         let t3 = Instant::now();
         let whole = SubCube::whole(topo);
-        let final_block = if slice_blocks.len() == 1 {
-            slice_blocks.pop().unwrap().block
-        } else {
-            let res = merge_blocks(
-                topo,
-                &g_node,
-                &slice_blocks,
-                whole.origin(),
-                whole.extent(),
-                &MergeOptions {
-                    beam_width: cfg.beam_width,
-                    routing: cfg.routing,
-                    // slice blocks exceed full_group_member_limit, so the
-                    // search automatically restricts to axis flips
-                    ..Default::default()
-                },
-            );
-            stats.merge_candidates += res.candidates_evaluated;
-            res.block
+        let final_block = match slice_blocks.len() {
+            0 => return Err(RahtmError::internal("no slice produced a block")),
+            1 => match slice_blocks.pop() {
+                Some(b) => b.block,
+                None => return Err(RahtmError::internal("slice block vanished")),
+            },
+            _ => {
+                let res = merge_blocks(
+                    topo,
+                    &g_node,
+                    &slice_blocks,
+                    whole.origin(),
+                    whole.extent(),
+                    &MergeOptions {
+                        beam_width: cfg.beam_width,
+                        routing: cfg.routing,
+                        deadline,
+                        // slice blocks exceed full_group_member_limit, so the
+                        // search automatically restricts to axis flips
+                        ..Default::default()
+                    },
+                );
+                stats.merge_candidates += res.candidates_evaluated;
+                if res.deadline_hit {
+                    stats.degradation.identity_merges += 1;
+                    stats.degradation.events.push(
+                        "final slice merge: deadline hit, identity composition".to_string(),
+                    );
+                }
+                res.block
+            }
         };
         stats.merge_secs += t3.elapsed().as_secs_f64();
 
         // ---- Expand to a process mapping ----
         let mut node_of_cluster = vec![u32::MAX; g_node.num_ranks() as usize];
-        for &(cluster, coord) in final_block
-            .members
-            .iter()
-            .map(|(c, x)| (c, x))
-            .collect::<Vec<_>>()
-            .iter()
-        {
-            node_of_cluster[*cluster as usize] = topo.node_id(coord);
+        for &(cluster, ref coord) in final_block.members.iter() {
+            node_of_cluster[cluster as usize] = topo.node_id(coord);
         }
-        assert!(
-            node_of_cluster.iter().all(|&n| n != u32::MAX),
-            "every node-cluster must be placed"
-        );
+        if node_of_cluster.contains(&u32::MAX) {
+            return Err(RahtmError::internal(
+                "final merged block left node-clusters unplaced",
+            ));
+        }
         // optional §VI polish pass on the node-level placement
         let node_of_cluster = if cfg.polish_swaps > 0 {
             crate::refine::polish_placement(
@@ -304,11 +503,11 @@ impl RahtmMapper {
         let mapping = TaskMapping::from_nodes(machine, node_of_rank);
         let predicted_mcl =
             route_graph(topo, &g_node, &node_of_cluster, cfg.routing).mcl(topo);
-        RahtmResult {
+        Ok(RahtmResult {
             mapping,
             predicted_mcl,
             stats,
-        }
+        })
     }
 
     /// Phases 2 and 3 for one uniform slice; returns the slice's solved
@@ -325,6 +524,7 @@ impl RahtmMapper {
         cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
         merge_cache: &Mutex<HashMap<MergeKey, Vec<Coord>>>,
         stats: &mut PhaseStats,
+        deadline: Deadline,
     ) -> PositionedBlock {
         let cfg = &self.config;
         let topo = machine.torus();
@@ -373,7 +573,7 @@ impl RahtmMapper {
         let mut pin: Vec<Vec<Coord>> = Vec::with_capacity(d_levels);
         // root solve
         let root_graph = &levels[0].coarse_graph;
-        let root_place = self.solve_subproblem(&root_cube, root_graph, cache, stats);
+        let root_place = self.solve_subproblem(&root_cube, root_graph, cache, stats, deadline);
         pin.push(
             root_place
                 .iter()
@@ -391,7 +591,7 @@ impl RahtmMapper {
                     .collect();
                 assert_eq!(children.len(), branching as usize);
                 let induced = child_graph.induced(&children);
-                let place = self.solve_subproblem(&leaf_cube, &induced, cache, stats);
+                let place = self.solve_subproblem(&leaf_cube, &induced, cache, stats, deadline);
                 for (li, &child) in children.iter().enumerate() {
                     let v = embed_vertex(&leaf_cube, place[li], &active, nd);
                     let mut c = Coord::zero(nd);
@@ -415,7 +615,11 @@ impl RahtmMapper {
 
         // ---- Phase 3: bottom-up merge ----
         let t2 = Instant::now();
-        let finest = pin.last().unwrap();
+        // pin is never empty: the root placement is pushed unconditionally
+        let finest = match pin.last() {
+            Some(f) => f,
+            None => unreachable!("hierarchy produced no levels"),
+        };
         let mut blocks: Vec<PositionedBlock> = finest
             .iter()
             .enumerate()
@@ -450,15 +654,14 @@ impl RahtmMapper {
                 parent_extent.set(d, sb);
             }
             let mut new_blocks: Vec<PositionedBlock> = Vec::with_capacity(groups.len());
-            let mut keys: Vec<Coord> = groups.keys().cloned().collect();
-            keys.sort_by_key(|c| c.as_slice().to_vec());
+            let mut grouped: Vec<(Coord, Vec<PositionedBlock>)> = groups.drain().collect();
+            grouped.sort_by_key(|(c, _)| c.as_slice().to_vec());
             // Paper §III-D: a merged parent's mapping "can be copied to the
             // neighboring nodes in the same level as long as they have
             // identical local communication graphs". The torus is
             // vertex-transitive, so translated parents with identical
             // relative structure share one merge solve (across slices too).
-            for key in keys {
-                let mut children = groups.remove(&key).unwrap();
+            for (key, mut children) in grouped {
                 children.sort_by_key(|c| c.origin.as_slice().to_vec());
                 let (mkey, canon_ids) = merge_key(g_node, &children, &key, &parent_extent);
                 if cfg.cache_subproblems {
@@ -488,10 +691,18 @@ impl RahtmMapper {
                     &MergeOptions {
                         beam_width: cfg.beam_width,
                         routing: cfg.routing,
+                        deadline,
                         ..Default::default()
                     },
                 );
                 stats.merge_candidates += res.candidates_evaluated;
+                if res.deadline_hit {
+                    stats.degradation.identity_merges += 1;
+                    stats.degradation.events.push(format!(
+                        "merge of {} blocks (side {sb}): deadline hit, identity composition",
+                        children.len()
+                    ));
+                }
                 if cfg.cache_subproblems {
                     // store coords in canonical member order
                     let coord_of: HashMap<Rank, Coord> =
@@ -509,18 +720,33 @@ impl RahtmMapper {
             sb *= 2;
         }
         stats.merge_secs += t2.elapsed().as_secs_f64();
-        assert_eq!(blocks.len(), 1, "slice must merge to a single block");
-        blocks.pop().unwrap()
+        // invariant: a panic here is caught by the slice-salvage layer and
+        // surfaces as RahtmError::WorkerPanic, never a crash of run()
+        match blocks.pop() {
+            Some(block) if blocks.is_empty() => block,
+            _ => panic!("slice must merge to a single block"),
+        }
     }
 
-    /// Solves one cluster-graph → cube sub-problem with SA incumbent +
-    /// optional MILP refinement, memoized on the graph's exact structure.
+    /// Solves one cluster-graph → cube sub-problem through the degradation
+    /// ladder, memoized on the graph's exact structure:
+    ///
+    /// 1. **MILP** — Table II with the SA incumbent (when `use_milp`);
+    ///    a timed-out or infeasible solve falls through to…
+    /// 2. **Annealing** — the incumbent itself (always computed first, so
+    ///    this rung is free); an already-expired deadline falls through to…
+    /// 3. **Greedy** — a deterministic volume-ordered placement that costs
+    ///    one sort.
+    ///
+    /// Every rung below the configured top level is recorded in
+    /// `stats.degradation`. The ladder always produces a valid placement.
     fn solve_subproblem(
         &self,
         cube: &Torus,
         graph: &CommGraph,
         cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
         stats: &mut PhaseStats,
+        deadline: Deadline,
     ) -> Vec<NodeId> {
         let cfg = &self.config;
         let key = sub_key(cube, graph);
@@ -530,6 +756,33 @@ impl RahtmMapper {
                 return hit.clone();
             }
         }
+        // fault injection counts actual solves (cache hits do no work)
+        let fault = cfg.fault_plan.as_ref().and_then(|p| p.check());
+        if fault == Some(Fault::WorkerPanic) {
+            panic!(
+                "injected fault: worker panic at sub-problem {} ({} clusters)",
+                stats.milp_solves,
+                graph.num_ranks()
+            );
+        }
+        stats.milp_solves += 1;
+
+        // Bottom rung: no time even for annealing.
+        if deadline.is_expired() {
+            stats.degradation.greedy += 1;
+            stats.degradation.downgraded += 1;
+            stats.degradation.events.push(format!(
+                "sub-problem ({} clusters): deadline expired, greedy placement",
+                graph.num_ranks()
+            ));
+            let placement = greedy_place(cube, graph);
+            if cfg.cache_subproblems {
+                cache.lock().insert(key, placement.clone());
+            }
+            return placement;
+        }
+
+        // Middle rung (and the MILP's warm incumbent): deadline-aware SA.
         let sa = anneal_map(
             cube,
             graph,
@@ -537,11 +790,31 @@ impl RahtmMapper {
                 iterations: cfg.anneal_iters,
                 seed: cfg.seed,
                 routing: cfg.routing,
+                deadline,
                 ..Default::default()
             },
         );
-        let placement = if cfg.use_milp {
-            let res = milp_map(
+        let placement = if !cfg.use_milp {
+            // annealing IS the configured top level here — not a downgrade
+            stats.degradation.anneal += 1;
+            sa.placement
+        } else if fault == Some(Fault::Infeasible) {
+            stats.degradation.anneal += 1;
+            stats.degradation.downgraded += 1;
+            stats.degradation.events.push(format!(
+                "sub-problem ({} clusters): injected infeasibility, SA incumbent",
+                graph.num_ranks()
+            ));
+            sa.placement
+        } else {
+            // Top rung. An injected timeout hands the MILP an already
+            // expired deadline, exercising the real timeout path.
+            let milp_deadline = if fault == Some(Fault::SolverTimeout) {
+                Deadline::after(Duration::ZERO)
+            } else {
+                deadline
+            };
+            let milp_res = milp_map(
                 cube,
                 graph,
                 &MilpMapOptions {
@@ -552,31 +825,70 @@ impl RahtmMapper {
                         max_nodes: cfg.milp_node_budget,
                         lp: SimplexOptions {
                             max_iters: cfg.milp_lp_iters,
+                            deadline: milp_deadline,
                             ..Default::default()
                         },
                         ..Default::default()
                     },
                 },
             );
-            stats.milp_nodes += res.nodes;
-            // Keep whichever is better under the oblivious scoring model
-            // (the MILP optimizes the LP split, SA the uniform split).
-            let milp_mcl =
-                route_graph(cube, graph, &res.placement, cfg.routing).mcl(cube);
-            if milp_mcl <= sa.mcl + 1e-9 {
-                res.placement
-            } else {
-                sa.placement
+            match milp_res {
+                Ok(res) => {
+                    stats.milp_nodes += res.nodes;
+                    if res.deadline_hit {
+                        stats.degradation.anneal += 1;
+                        stats.degradation.downgraded += 1;
+                        stats.degradation.events.push(format!(
+                            "sub-problem ({} clusters): MILP deadline hit, kept incumbent",
+                            graph.num_ranks()
+                        ));
+                    } else {
+                        stats.degradation.milp += 1;
+                    }
+                    // Keep whichever is better under the oblivious scoring
+                    // model (the MILP optimizes the LP split, SA the
+                    // uniform split).
+                    let milp_mcl =
+                        route_graph(cube, graph, &res.placement, cfg.routing).mcl(cube);
+                    if milp_mcl <= sa.mcl + 1e-9 {
+                        res.placement
+                    } else {
+                        sa.placement
+                    }
+                }
+                Err(e) => {
+                    stats.degradation.anneal += 1;
+                    stats.degradation.downgraded += 1;
+                    stats.degradation.events.push(format!(
+                        "sub-problem ({} clusters): MILP failed ({e}), SA incumbent",
+                        graph.num_ranks()
+                    ));
+                    sa.placement
+                }
             }
-        } else {
-            sa.placement
         };
-        stats.milp_solves += 1;
         if cfg.cache_subproblems {
             cache.lock().insert(key, placement.clone());
         }
         placement
     }
+}
+
+/// The degradation ladder's bottom rung: a deterministic placement that
+/// costs one sort. Clusters in decreasing traffic volume take vertices in
+/// node-id order (node-id neighbors are coordinate-adjacent on the cube,
+/// giving heavy clusters crude locality). Never examines the clock.
+fn greedy_place(cube: &Torus, graph: &CommGraph) -> Vec<NodeId> {
+    let a = graph.num_ranks() as usize;
+    debug_assert!(a <= cube.num_nodes() as usize);
+    let vols = graph.rank_volumes();
+    let mut order: Vec<usize> = (0..a).collect();
+    order.sort_by(|&x, &y| vols[y].total_cmp(&vols[x]).then(x.cmp(&y)));
+    let mut placement = vec![0 as NodeId; a];
+    for (vertex, &cluster) in order.iter().enumerate() {
+        placement[cluster] = vertex as NodeId;
+    }
+    placement
 }
 
 /// Embeds a cube vertex (n_eff dims) into machine dimensionality.
@@ -822,6 +1134,68 @@ mod tests {
             polished.predicted_mcl,
             base.predicted_mcl
         );
+    }
+
+    #[test]
+    fn validate_collects_every_problem_at_once() {
+        // 10 ranks on 16 nodes (not a multiple) AND a 3x3 grid covering 9
+        // ranks: both problems must come back in one error
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::ring(10, 1.0);
+        let err = RahtmMapper::new(RahtmConfig::fast())
+            .run(&machine, &g, Some(RankGrid::new(&[3, 3])))
+            .unwrap_err();
+        match err {
+            RahtmError::InvalidInput { problems } => {
+                assert_eq!(problems.len(), 2, "{problems:?}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excess_concentration_is_a_typed_error() {
+        // 64 ranks on 16 nodes needs concentration 4 > capacity 2
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 2, 2);
+        let g = patterns::halo_2d(8, 8, 5.0, true);
+        let err = RahtmMapper::new(RahtmConfig::fast())
+            .run(&machine, &g, None)
+            .unwrap_err();
+        assert!(matches!(err, RahtmError::InvalidInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn zero_time_limit_still_produces_valid_mapping() {
+        // the acceptance property in miniature: an already-expired budget
+        // must still deliver a complete, capacity-respecting mapping, with
+        // the downgrades visible in the report
+        let machine = BgqMachine::new(Torus::torus(&[4, 4]), 16, 4);
+        let g = patterns::halo_2d(8, 8, 5.0, true);
+        let cfg = RahtmConfig {
+            time_limit: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let res = RahtmMapper::new(cfg)
+            .run(&machine, &g, Some(RankGrid::new(&[8, 8])))
+            .unwrap();
+        res.mapping.validate(&machine);
+        let by = res.mapping.ranks_by_node(&machine);
+        assert!(by.iter().all(|v| v.len() == 4), "capacities respected");
+        let d = &res.stats.degradation;
+        assert!(d.greedy > 0, "sub-problems must have hit the greedy rung: {d:?}");
+        assert!(d.total_downgrades() > 0 && !d.events.is_empty());
+        assert_eq!(d.milp, 0, "no MILP can finish in zero time");
+    }
+
+    #[test]
+    fn untimed_run_reports_no_downgrades() {
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::halo_2d(4, 4, 10.0, true);
+        let res = RahtmMapper::new(RahtmConfig::fast())
+            .run(&machine, &g, Some(RankGrid::new(&[4, 4])))
+            .unwrap();
+        assert_eq!(res.stats.degradation.total_downgrades(), 0);
+        assert!(res.stats.degradation.events.is_empty());
     }
 
     #[test]

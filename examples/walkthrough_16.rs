@@ -44,7 +44,8 @@ fn main() {
             incumbent: Some(sa.placement.clone()),
             ..Default::default()
         },
-    );
+    )
+    .expect("Table II solve");
     println!(
         "MILP placement {:?}, objective (optimal-split MCL) {:.1}, proven optimal: {}\n",
         milp.placement, milp.mcl, milp.proven_optimal

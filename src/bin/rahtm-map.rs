@@ -9,14 +9,34 @@
 //! ```text
 //! rahtm-map --benchmark CG --ranks 1024 --machine 4x4x4x2 --cores 16 --out cg.map
 //! rahtm-map --profile trace.json --machine 4x4 --out app.map --fast
+//! rahtm-map --benchmark CG --ranks 1024 --machine 8x8x4 --time-limit 5 --out cg.map
 //! ```
+//!
+//! The tool never backtraces on user errors: every failure class maps to a
+//! distinct exit code with a one-line (or one-line-per-problem) message.
+//!
+//! | exit | meaning                                    |
+//! |------|--------------------------------------------|
+//! | 0    | success                                    |
+//! | 1    | I/O failure (read/write)                   |
+//! | 2    | usage error (bad flags)                    |
+//! | 3    | invalid input (profile shape, grid, ranks) |
+//! | 4    | MILP infeasible with no fallback           |
+//! | 5    | time limit exhausted with no fallback      |
+//! | 6    | slice worker panicked twice                |
+//! | 7    | internal invariant violated (a RAHTM bug)  |
+//!
+//! With `--time-limit` the pipeline still exits 0 whenever the degradation
+//! ladder can absorb the pressure — it prints which sub-problems were
+//! downgraded instead of failing.
 
 use rahtm_repro::prelude::*;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     profile: Option<String>,
-    benchmark: Option<String>,
+    benchmark: Option<Benchmark>,
     ranks: Option<u32>,
     machine: Vec<u16>,
     cores: u32,
@@ -25,13 +45,14 @@ struct Args {
     fast: bool,
     milp: bool,
     beam: Option<usize>,
+    time_limit: Option<f64>,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rahtm-map (--profile FILE.json | --benchmark BT|SP|CG --ranks N)\n       \
      --machine AxBxC... [--cores N] [--grid RxC] [--out FILE.map]\n       \
-     [--fast] [--milp] [--beam N] [--quiet]"
+     [--fast] [--milp] [--beam N] [--time-limit SECS] [--quiet]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         fast: false,
         milp: false,
         beam: None,
+        time_limit: None,
         quiet: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -62,7 +84,13 @@ fn parse_args() -> Result<Args, String> {
                 i += 2;
             }
             "--benchmark" => {
-                a.benchmark = Some(value(&argv, i, "--benchmark")?);
+                let name = value(&argv, i, "--benchmark")?;
+                a.benchmark = Some(match name.to_ascii_uppercase().as_str() {
+                    "BT" => Benchmark::Bt,
+                    "SP" => Benchmark::Sp,
+                    "CG" => Benchmark::Cg,
+                    other => return Err(format!("unknown benchmark '{other}' (BT, SP, CG)")),
+                });
                 i += 2;
             }
             "--ranks" => {
@@ -107,6 +135,16 @@ fn parse_args() -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--time-limit" => {
+                let secs: f64 = value(&argv, i, "--time-limit")?
+                    .parse()
+                    .map_err(|e| format!("--time-limit: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--time-limit: must be a non-negative number of seconds".into());
+                }
+                a.time_limit = Some(secs);
+                i += 2;
+            }
             "--fast" => {
                 a.fast = true;
                 i += 1;
@@ -126,12 +164,25 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!("--machine is required\n{}", usage()));
     }
     if a.profile.is_none() && a.benchmark.is_none() {
-        return Err(format!(
-            "need --profile or --benchmark\n{}",
-            usage()
-        ));
+        return Err(format!("need --profile or --benchmark\n{}", usage()));
+    }
+    if a.benchmark.is_some() && a.ranks.is_none() {
+        return Err(format!("--benchmark needs --ranks\n{}", usage()));
     }
     Ok(a)
+}
+
+/// One distinct exit code per [`RahtmError`] class (documented in the
+/// module header). Usage errors exit 2 before this mapping is reached.
+fn exit_code(e: &RahtmError) -> u8 {
+    match e {
+        RahtmError::Io { .. } => 1,
+        RahtmError::InvalidInput { .. } | RahtmError::Profile { .. } => 3,
+        RahtmError::Infeasible { .. } => 4,
+        RahtmError::Timeout { .. } => 5,
+        RahtmError::WorkerPanic { .. } => 6,
+        RahtmError::Internal { .. } => 7,
+    }
 }
 
 fn main() -> ExitCode {
@@ -146,16 +197,21 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("rahtm-map: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code(&e))
         }
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), RahtmError> {
     // ---- workload ----
     let (name, graph, grid) = if let Some(path) = &args.profile {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let profile = Profile::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| RahtmError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let profile = Profile::from_json(&text).map_err(|e| RahtmError::Profile {
+            message: format!("{path}: {e}"),
+        })?;
         let g = profile.to_graph();
         let grid = args
             .grid
@@ -164,43 +220,37 @@ fn run(args: &Args) -> Result<(), String> {
             .unwrap_or_else(|| RankGrid::near_square(g.num_ranks()));
         (profile.name.clone(), g, grid)
     } else {
-        let bname = args.benchmark.as_deref().unwrap();
-        let bench = match bname.to_ascii_uppercase().as_str() {
-            "BT" => Benchmark::Bt,
-            "SP" => Benchmark::Sp,
-            "CG" => Benchmark::Cg,
-            other => return Err(format!("unknown benchmark '{other}' (BT, SP, CG)")),
+        // parse_args guarantees benchmark and ranks are both present
+        let (bench, ranks) = match (args.benchmark, args.ranks) {
+            (Some(b), Some(r)) => (b, r),
+            _ => {
+                return Err(RahtmError::internal(
+                    "argument parser admitted benchmark without ranks",
+                ))
+            }
         };
-        let ranks = args.ranks.ok_or("--benchmark needs --ranks")?;
         let spec = bench.spec(ranks);
-        (
-            format!("{}.{}", bench.name(), ranks),
-            spec.comm_graph(),
-            spec.grid,
-        )
+        let graph = spec.comm_graph();
+        let grid = args
+            .grid
+            .clone()
+            .map(|d| RankGrid::new(&d))
+            .unwrap_or(spec.grid);
+        (format!("{}.{}", bench.name(), ranks), graph, grid)
     };
-    if grid.num_ranks() != graph.num_ranks() {
-        return Err(format!(
-            "grid {:?} covers {} ranks but the workload has {}",
-            grid.dims(),
-            grid.num_ranks(),
-            graph.num_ranks()
-        ));
-    }
 
     // ---- machine ----
+    // Oversubscription (concentration above --cores) is paper-normal:
+    // mira_512 runs 32 ranks/node on 16 cores. Shape errors (ranks not
+    // filling nodes, grid mismatch) are the mapper's validate() call, which
+    // reports every problem at once.
     let nodes: u32 = args.machine.iter().map(|&k| k as u32).product();
-    if graph.num_ranks() % nodes != 0 {
-        return Err(format!(
-            "{} ranks do not fill {nodes} nodes uniformly",
-            graph.num_ranks()
-        ));
-    }
-    let conc = graph.num_ranks() / nodes;
-    if conc > args.cores.max(conc) {
-        return Err(format!("concentration {conc} exceeds --cores"));
-    }
-    let machine = BgqMachine::new(Torus::torus(&args.machine), args.cores, conc.max(1));
+    let conc = if nodes > 0 && graph.num_ranks().is_multiple_of(nodes) {
+        (graph.num_ranks() / nodes).max(1)
+    } else {
+        1 // invalid shape: let validate() report it
+    };
+    let machine = BgqMachine::new(Torus::torus(&args.machine), args.cores, conc);
 
     // ---- mapping ----
     let mut cfg = if args.fast {
@@ -212,8 +262,9 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(b) = args.beam {
         cfg.beam_width = b;
     }
+    cfg.time_limit = args.time_limit.map(Duration::from_secs_f64);
     let t0 = std::time::Instant::now();
-    let result = RahtmMapper::new(cfg).map(&machine, &graph, Some(grid));
+    let result = RahtmMapper::new(cfg).run(&machine, &graph, Some(grid))?;
     let elapsed = t0.elapsed().as_secs_f64();
 
     let default = TaskMapping::abcdet(&machine, graph.num_ranks());
@@ -237,10 +288,25 @@ fn run(args: &Args) -> Result<(), String> {
                 (mcl_rahtm / mcl_default - 1.0) * 100.0
             );
         }
+        let d = &result.stats.degradation;
+        if d.total_downgrades() > 0 {
+            println!(
+                "degradation  : {} downgrade(s) under the time budget \
+                 (milp {}, anneal {}, greedy {}, identity merges {})",
+                d.total_downgrades(),
+                d.milp,
+                d.anneal,
+                d.greedy,
+                d.identity_merges
+            );
+        }
     }
     if let Some(out) = &args.out {
         let text = result.mapping.to_bgq_mapfile(&machine);
-        std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+        std::fs::write(out, &text).map_err(|e| RahtmError::Io {
+            path: out.clone(),
+            message: e.to_string(),
+        })?;
         if !args.quiet {
             println!("wrote        : {out} ({} lines)", text.lines().count());
         }

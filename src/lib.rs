@@ -40,7 +40,11 @@ pub mod prelude {
         RhtConfig,
     };
     pub use rahtm_commgraph::{patterns, profile::Profile, Benchmark, CommGraph, RankGrid};
-    pub use rahtm_core::{RahtmConfig, RahtmMapper, RahtmResult, TaskMapping};
+    pub use rahtm_core::{
+        DegradationReport, Fault, FaultPlan, RahtmConfig, RahtmError, RahtmMapper, RahtmResult,
+        TaskMapping,
+    };
+    pub use rahtm_lp::Deadline;
     pub use rahtm_netsim::{AppModel, CommTimeModel, DesConfig, DesRouting};
     pub use rahtm_routing::{mapping_hop_bytes, mapping_mcl, ChannelLoads, Routing};
     pub use rahtm_topology::{BgqMachine, Coord, Orientation, SubCube, Torus};

@@ -83,7 +83,7 @@ fn bad_benchmark_rejected() {
         .args(["--benchmark", "LU", "--ranks", "64", "--machine", "4x4"])
         .output()
         .expect("binary runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "usage error");
     assert!(String::from_utf8_lossy(&output.stderr).contains("unknown benchmark"));
 }
 
@@ -93,6 +93,114 @@ fn non_dividing_ranks_rejected() {
         .args(["--benchmark", "CG", "--ranks", "64", "--machine", "3x5", "--fast"])
         .output()
         .expect("binary runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(3), "invalid input");
     assert!(String::from_utf8_lossy(&output.stderr).contains("uniformly"));
+}
+
+#[test]
+fn all_input_problems_reported_in_one_invocation() {
+    // 64 ranks on 3x5=15 nodes (not a multiple) AND a grid covering the
+    // wrong rank count: both must appear in stderr of a single run.
+    let output = bin()
+        .args([
+            "--benchmark",
+            "CG",
+            "--ranks",
+            "64",
+            "--machine",
+            "3x5",
+            "--grid",
+            "4x4",
+            "--fast",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(3), "invalid input");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("uniformly"), "rank/node mismatch listed: {err}");
+    assert!(err.contains("grid"), "grid mismatch listed: {err}");
+    assert!(!err.contains("panicked"), "no backtrace for user errors: {err}");
+}
+
+#[test]
+fn missing_profile_is_io_error() {
+    let output = bin()
+        .args([
+            "--profile",
+            "/nonexistent/trace.json",
+            "--machine",
+            "4x4",
+            "--fast",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "I/O error");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("/nonexistent/trace.json"), "{err}");
+}
+
+#[test]
+fn malformed_profile_is_invalid_input() {
+    let dir = std::env::temp_dir().join("rahtm_cli_test_badjson");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let output = bin()
+        .args(["--profile", path.to_str().unwrap(), "--machine", "4x4", "--fast"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(3), "invalid input");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("profile"), "{err}");
+}
+
+#[test]
+fn bad_time_limit_rejected_as_usage() {
+    let output = bin()
+        .args([
+            "--benchmark",
+            "CG",
+            "--ranks",
+            "16",
+            "--machine",
+            "4x4",
+            "--time-limit",
+            "-3",
+            "--fast",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "usage error");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--time-limit"));
+}
+
+#[test]
+fn zero_time_limit_still_succeeds_with_degradation_note() {
+    // The resilience contract end to end: an already-expired budget still
+    // produces a mapfile and exit 0; the degradation ladder is reported.
+    let dir = std::env::temp_dir().join("rahtm_cli_test_tl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("cg.map");
+    let output = bin()
+        .args([
+            "--benchmark",
+            "CG",
+            "--ranks",
+            "64",
+            "--machine",
+            "4x4",
+            "--cores",
+            "4",
+            "--time-limit",
+            "0",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("degradation"), "downgrades reported: {text}");
+    let mapfile = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(mapfile.lines().count(), 64, "complete mapping written");
 }

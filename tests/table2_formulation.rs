@@ -20,7 +20,7 @@ fn objective_equals_routing_lp_of_chosen_placement() {
     for seed in [3u64, 14, 15] {
         let cube = Torus::mesh(&[2, 2]);
         let g = patterns::random(4, 7, 1.0, 12.0, seed);
-        let res = milp_map(&cube, &g, &strict());
+        let res = milp_map(&cube, &g, &strict()).expect("Table II solve");
         assert!(res.proven_optimal, "seed {seed}");
         let flows: Vec<(u32, u32, f64)> = g
             .flows()
@@ -62,7 +62,7 @@ fn c1_assignment_structure() {
             },
             ..Default::default()
         },
-    );
+    ).expect("Table II solve");
     let distinct: std::collections::HashSet<_> = res.placement.iter().collect();
     assert_eq!(distinct.len(), 8);
     assert!(res.placement.iter().all(|&v| v < 8));
@@ -88,9 +88,8 @@ fn butterfly_embeds_into_cube() {
                 max_nodes: 20,
                 ..Default::default()
             },
-            ..Default::default()
         },
-    );
+    ).expect("Table II solve");
     assert!(res.mcl <= 4.0 + 1e-5, "perfect embedding exists: {}", res.mcl);
     for f in g.flows() {
         assert_eq!(
@@ -124,7 +123,7 @@ fn budgeted_solve_returns_incumbent() {
             },
             ..Default::default()
         },
-    );
+    ).expect("Table II solve");
     let distinct: std::collections::HashSet<_> = res.placement.iter().collect();
     assert_eq!(distinct.len(), 8);
 }
@@ -144,7 +143,7 @@ fn symmetry_breaking_is_lossless() {
                 enforce_minimal: true,
                 ..Default::default()
             },
-        );
+        ).expect("Table II solve");
         let free = milp_map(
             &cube,
             &g,
@@ -153,7 +152,7 @@ fn symmetry_breaking_is_lossless() {
                 enforce_minimal: true,
                 ..Default::default()
             },
-        );
+        ).expect("Table II solve");
         assert!(pinned.proven_optimal && free.proven_optimal);
         assert!(
             (pinned.mcl - free.mcl).abs() < 1e-5,

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the macro surface this workspace uses — `proptest!` with an
+//! optional `#![proptest_config(..)]`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!` — over a deterministic random-input runner. There is no
+//! shrinking: a failing case reports the assertion message and the case
+//! number, and the input stream is a pure function of the test's module
+//! path and name, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only the knobs this workspace touches).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising the generators well past their edge cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// `prop_assume!` filtered the input; the case is skipped, not failed.
+    Reject(String),
+}
+
+/// A source of random test inputs.
+///
+/// The stub generates fresh independent values each case (no shrinking
+/// tree), which is all the deterministic runner needs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+}
+
+/// Strategies that sample from explicit collections.
+pub mod sample {
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Draws uniformly from `items` (clones the chosen element).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> crate::Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.items.len());
+            self.items[i].clone()
+        }
+    }
+}
+
+/// Builds the deterministic per-test generator (FNV-1a of the test's full
+/// path seeds the stream, so each test gets a distinct but stable input
+/// sequence).
+#[doc(hidden)]
+pub fn test_rng(test_path: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a proptest-using test module imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+
+    /// The `prop::` path alias (`prop::sample::select`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::{bool, sample};
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function that runs the body over generated
+/// inputs; `prop_assert*` failures panic with the case number.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            // The attempt cap bounds runaway `prop_assume!` rejection.
+            while passed < config.cases && attempts < config.cases.saturating_mul(16).max(64) {
+                attempts += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (attempt {}): {}",
+                            stringify!($name),
+                            passed,
+                            attempts,
+                            msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                passed >= config.cases.min(1),
+                "proptest {}: every input was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; on failure the current case errors
+/// (the runner panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Filters inputs: a false condition skips (does not fail) the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.5..2.0).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn select_and_bool(
+            e in prop::sample::select(vec![1u16, 2, 4, 8]),
+            b in crate::bool::ANY,
+        ) {
+            prop_assume!(e != 8 || b);
+            prop_assert!(e.is_power_of_two());
+            prop_assert_eq!(e.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs_per_test() {
+        let mut a = crate::test_rng("x::y");
+        let mut b = crate::test_rng("x::y");
+        let range = 0u64..1_000_000;
+        assert_eq!(
+            crate::Strategy::generate(&range, &mut a),
+            crate::Strategy::generate(&range, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(v in 0u32..10) {
+                prop_assert!(v > 100);
+            }
+        }
+        inner();
+    }
+}

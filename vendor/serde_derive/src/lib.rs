@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` traits are inert markers, so the derives only need to
+//! emit `impl ::serde::Serialize for T {}` (and the `Deserialize`
+//! counterpart). The input is scanned at the token level — no `syn`/`quote`
+//! (unavailable offline). Plain (non-generic) structs and enums are
+//! supported, which covers every derive site in this workspace; a generic
+//! type produces a compile error naming this stub so the failure is
+//! self-explaining.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the (inert) `Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the (inert) `Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name following the `struct`/`enum` keyword, rejecting
+/// generic definitions (unused in this workspace, unsupported by the stub).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive stub: expected a type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde_derive stub: generic type `{name}` is not supported \
+                             (vendor/serde_derive only emits marker impls for plain types)"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in derive input");
+}

@@ -1,0 +1,456 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides a self-contained JSON document model ([`Value`]), a strict
+//! recursive-descent parser ([`from_str`]), and compact/pretty writers
+//! ([`to_string`], [`to_string_pretty`]). Unlike the real crate there is no
+//! generic `Serialize`/`Deserialize` bridge — callers build and inspect
+//! `Value` trees directly (the stub `serde` derives are inert markers).
+//!
+//! Numbers are stored as `f64` and written with Rust's shortest-roundtrip
+//! `Display`, so every finite double survives a write→parse round trip
+//! bit-exactly.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// A parse or shape error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message (used by callers converting a
+    /// parsed [`Value`] into a typed structure).
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON document: null, boolean, number, string, array, or object.
+///
+/// Objects preserve insertion order (sufficient for this workspace; key
+/// lookup is linear).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral `Number`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Trailing non-whitespace is an error.
+///
+/// # Errors
+/// Returns [`Error`] describing the first syntax problem encountered.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Writes a value as compact single-line JSON.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, None, 0, &mut out);
+    out
+}
+
+/// Writes a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, Some(2), 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.len(), indent, depth, b'[', b']', out, |i, out| {
+            write_value(&items[i], indent, depth + 1, out);
+        }),
+        Value::Object(fields) => {
+            write_seq(fields.len(), indent, depth, b'{', b'}', out, |i, out| {
+                let (k, v) = &fields[i];
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, indent, depth + 1, out);
+            })
+        }
+    }
+}
+
+fn write_seq(
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: u8,
+    close: u8,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open as char);
+    if len == 0 {
+        out.push(close as char);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(i, out);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close as char);
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use fmt::Write;
+    if n.is_finite() {
+        // Rust's `Display` for f64 prints the shortest string that parses
+        // back to the same bits, which is what makes round trips exact.
+        write!(out, "{n}").expect("writing to String cannot fail");
+        // `Display` omits ".0" for integral values; that is still valid JSON.
+    } else {
+        // JSON has no NaN/Infinity; match serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| self.err("invalid UTF-8"))?
+            .char_indices();
+        loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(s);
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        '/' => s.push('/'),
+                        'b' => s.push('\u{8}'),
+                        'f' => s.push('\u{c}'),
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| self.err("bad hex in \\u escape"))?;
+                            }
+                            // Surrogate pairs are not needed by this workspace's
+                            // writers; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            s.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number text is valid UTF-8");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_doc() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("CG.64".to_string())),
+            ("n".to_string(), Value::Number(64.0)),
+            ("frac".to_string(), Value::Number(1.0 / 3.0)),
+            (
+                "flows".to_string(),
+                Value::Array(vec![Value::Number(123456789.000001)]),
+            ),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+        ]);
+        for text in [to_string(&v), to_string_pretty(&v)] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn doubles_are_bit_exact() {
+        for x in [1.0 / 3.0, 123456789.000001, 1e-308, -0.1, 2.5e17] {
+            let text = to_string(&Value::Number(x));
+            match from_str(&text).unwrap() {
+                Value::Number(y) => assert_eq!(x.to_bits(), y.to_bits()),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\nd\te\u{1}".to_string());
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["{not json", "", "[1,", "{\"a\":}", "tru", "1.2.3", "[] x"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_parse() {
+        let v = from_str(r#"{"a":[1,2,{"b":null}],"c":-4.5e2}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(-450.0));
+        assert_eq!(v.get("a").and_then(Value::as_array).unwrap().len(), 3);
+    }
+}
