@@ -15,7 +15,7 @@
 //!   mcl           absolute MCL / hop-bytes per mapping
 //!   ablation      beam / scoring / tiling / MILP knob sweeps
 //!   validate      flow model vs packet simulator cross-check
-//!   opportunity   §VI mapping-opportunity prediction per benchmark\n//!   paper-suite   fig10 + fig8 + mapping cost from one pass (for --scale paper)
+//!   opportunity   §VI mapping-opportunity prediction per benchmark\n//!   trace         run one mapping with tracing on; [--trace-json FILE] exports the journal\n//!   paper-suite   fig10 + fig8 + mapping cost from one pass (for --scale paper)
 //!   all           the paper's tables and figures in sequence
 //! ```
 
@@ -26,7 +26,8 @@ use rahtm_bench::experiments::{
 use rahtm_bench::report::{pct, render_table, secs};
 use rahtm_commgraph::{patterns, Benchmark};
 use rahtm_core::milp::{milp_map, MilpMapOptions};
-use rahtm_core::RahtmConfig;
+use rahtm_core::{RahtmConfig, RahtmMapper};
+use rahtm_obs::Recorder;
 use rahtm_topology::Torus;
 
 fn main() {
@@ -64,6 +65,7 @@ fn main() {
         "ablation" => ablation(&scale, &cfg),
         "validate" => validate(&scale, &cfg),
         "opportunity" => opportunity(&scale),
+        "trace" => trace(&scale, &cfg, &args),
         "paper-suite" => paper_suite(&scale, &cfg),
         "opt-time" => opt_time(&scale, &cfg),
         "all" => {
@@ -75,7 +77,7 @@ fn main() {
             opt_time(&scale, &cfg);
         }
         _ => {
-            eprintln!("usage: harness <table1|table2-check|fig1|fig8|fig9|fig10|mcl|ablation|validate|opportunity|opt-time|all> [--scale micro|mini|paper] [--milp] [--beam N]");
+            eprintln!("usage: harness <table1|table2-check|fig1|fig8|fig9|fig10|mcl|ablation|validate|opportunity|trace|opt-time|all> [--scale micro|mini|paper] [--milp] [--beam N] [--benchmark BT|SP|CG] [--trace-json FILE]");
             std::process::exit(2);
         }
     }
@@ -314,6 +316,72 @@ fn opportunity(scale: &Scale) {
             &rows
         )
     );
+}
+
+/// Run one RAHTM mapping with the trace recorder on and report the
+/// journal: phase spans, solver counters, and per-level MCL gauges.
+/// `--trace-json FILE` additionally exports the journal as JSON (the
+/// same shape `rahtm-map --trace-json` writes).
+fn trace(scale: &Scale, cfg: &RahtmConfig, args: &[String]) {
+    let bench = match flag_value(args, "--benchmark")
+        .unwrap_or("CG")
+        .to_ascii_uppercase()
+        .as_str()
+    {
+        "BT" => Benchmark::Bt,
+        "SP" => Benchmark::Sp,
+        "CG" => Benchmark::Cg,
+        other => {
+            eprintln!("unknown benchmark '{other}' (BT, SP, CG)");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== Trace: {} at scale {} ({} ranks) ==",
+        bench.name(),
+        scale.name,
+        scale.ranks
+    );
+    let spec = bench.spec(scale.ranks);
+    let graph = spec.comm_graph();
+    let recorder = Recorder::enabled();
+    let mapper = RahtmMapper::new(cfg.clone()).with_recorder(recorder.clone());
+    let res = match mapper.run(&scale.machine, &graph, Some(spec.grid)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mapping failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let journal = res.journal.unwrap_or_default();
+    let span_rows: Vec<Vec<String>> = journal
+        .spans
+        .iter()
+        .map(|s| vec![s.name.clone(), s.count.to_string(), secs(s.secs)])
+        .collect();
+    println!("{}", render_table(&["span", "count", "total"], &span_rows));
+    let counter_rows: Vec<Vec<String>> = journal
+        .counters
+        .iter()
+        .map(|c| vec![c.name.clone(), c.value.to_string()])
+        .collect();
+    println!("{}", render_table(&["counter", "value"], &counter_rows));
+    let gauge_rows: Vec<Vec<String>> = journal
+        .gauges
+        .iter()
+        .map(|g| {
+            let vals: Vec<String> = g.values.iter().map(|v| format!("{v:.1}")).collect();
+            vec![g.name.clone(), vals.join(", ")]
+        })
+        .collect();
+    println!("{}", render_table(&["gauge", "values"], &gauge_rows));
+    if let Some(path) = flag_value(args, "--trace-json") {
+        if let Err(e) = std::fs::write(path, journal.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }
 
 fn validate(scale: &Scale, cfg: &RahtmConfig) {

@@ -16,6 +16,7 @@
 
 use crate::problem::Problem;
 use crate::simplex::{solve_lp, LpStatus, SimplexOptions};
+use rahtm_obs::counters;
 
 /// Termination status of a MILP solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,6 +109,8 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
         parent_bound: f64::NEG_INFINITY,
     }];
     let mut nodes = 0usize;
+    let mut pruned = 0usize;
+    let mut bnb_polls = 0usize;
     let mut open_bounds: Vec<f64> = Vec::new(); // bounds of pruned-by-budget subtrees
     let mut exhausted = false;
     let mut deadline_hit = false;
@@ -118,6 +121,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
             open_bounds.push(node.parent_bound);
             continue; // drain remaining stack into open_bounds
         }
+        bnb_polls += 1;
         if opts.lp.deadline.is_expired() {
             exhausted = true;
             deadline_hit = true;
@@ -126,6 +130,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
         }
         // Bound pruning against incumbent.
         if node.parent_bound >= best_obj - gap_slack(best_obj, opts.rel_gap) {
+            pruned += 1;
             continue;
         }
         nodes += 1;
@@ -171,6 +176,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
         }
         let bound = sol.objective;
         if bound >= best_obj - gap_slack(best_obj, opts.rel_gap) {
+            pruned += 1;
             continue;
         }
         // Find most fractional integer variable.
@@ -229,6 +235,10 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
             }
         }
     }
+
+    opts.lp.recorder.add(counters::BNB_NODES_EXPLORED, nodes as u64);
+    opts.lp.recorder.add(counters::BNB_NODES_PRUNED, pruned as u64);
+    opts.lp.recorder.add(counters::DEADLINE_CHECKS, bnb_polls as u64);
 
     let open_min = open_bounds
         .iter()

@@ -15,6 +15,7 @@
 
 use crate::deadline::Deadline;
 use crate::problem::{Problem, Sense};
+use rahtm_obs::{counters, Recorder};
 
 /// Termination status of an LP solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +60,9 @@ pub struct SimplexOptions {
     pub refactor_every: usize,
     /// Wall-clock budget, polled every [`DEADLINE_CHECK_EVERY`] pivots.
     pub deadline: Deadline,
+    /// Trace sink (disabled by default; counters are recorded once per
+    /// solve, never per pivot).
+    pub recorder: Recorder,
 }
 
 /// Pivots between wall-clock polls (an `Instant::now()` call is ~20ns but a
@@ -73,13 +77,18 @@ impl Default for SimplexOptions {
             cost_tol: 1e-9,
             refactor_every: 500,
             deadline: Deadline::never(),
+            recorder: Recorder::disabled(),
         }
     }
 }
 
 /// Solves the continuous relaxation of `p` (integrality flags ignored).
 pub fn solve_lp(p: &Problem, opts: &SimplexOptions) -> Solution {
-    Tableau::build(p).solve(opts, p)
+    let (sol, polls) = Tableau::build(p).solve(opts, p);
+    opts.recorder.incr(counters::SIMPLEX_SOLVES);
+    opts.recorder.add(counters::SIMPLEX_PIVOTS, sol.iterations as u64);
+    opts.recorder.add(counters::DEADLINE_CHECKS, polls as u64);
+    sol
 }
 
 const NONBASIC: u32 = u32::MAX;
@@ -328,24 +337,29 @@ impl Tableau {
     }
 
     /// Runs simplex iterations with the given cost vector until optimal /
-    /// unbounded / out of budget. Returns (status, iterations used).
+    /// unbounded / out of budget. Returns (status, iterations used,
+    /// deadline polls).
     fn iterate(
         &mut self,
         cost: &[f64],
         opts: &SimplexOptions,
         budget: usize,
         allow_artificials: bool,
-    ) -> (LpStatus, usize) {
+    ) -> (LpStatus, usize, usize) {
         let m = self.m;
         let mut y = vec![0.0; m];
         let mut w = vec![0.0; m];
         let mut iters = 0usize;
+        let mut polls = 0usize;
         let mut degen_run = 0usize;
         let mut bland = false;
         let art_start = self.n_struct + m;
         while iters < budget {
-            if iters.is_multiple_of(DEADLINE_CHECK_EVERY) && opts.deadline.is_expired() {
-                return (LpStatus::TimeLimit, iters);
+            if iters.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                polls += 1;
+                if opts.deadline.is_expired() {
+                    return (LpStatus::TimeLimit, iters, polls);
+                }
             }
             if iters > 0 && opts.refactor_every > 0 && iters.is_multiple_of(opts.refactor_every) {
                 self.refactorize();
@@ -395,7 +409,7 @@ impl Tableau {
                 }
             }
             let Some((j, _, dir)) = enter else {
-                return (LpStatus::Optimal, iters);
+                return (LpStatus::Optimal, iters, polls);
             };
             let delta = dir as f64;
             self.ftran(j, &mut w);
@@ -433,7 +447,7 @@ impl Tableau {
             let flip_limit = if span.is_finite() { span } else { f64::INFINITY };
             if flip_limit <= t_best {
                 if !flip_limit.is_finite() {
-                    return (LpStatus::Unbounded, iters);
+                    return (LpStatus::Unbounded, iters, polls);
                 }
                 // flip j to its other bound
                 let t = flip_limit;
@@ -445,7 +459,7 @@ impl Tableau {
                 continue;
             }
             let Some(r) = leave else {
-                return (LpStatus::Unbounded, iters);
+                return (LpStatus::Unbounded, iters, polls);
             };
             let t = t_best;
             if t <= opts.feas_tol {
@@ -498,10 +512,10 @@ impl Tableau {
             self.beta[r] = enter_val;
             iters += 1;
         }
-        (LpStatus::IterLimit, iters)
+        (LpStatus::IterLimit, iters, polls)
     }
 
-    fn solve(mut self, opts: &SimplexOptions, p: &Problem) -> Solution {
+    fn solve(mut self, opts: &SimplexOptions, p: &Problem) -> (Solution, usize) {
         let m = self.m;
         // Trivial no-constraint case: each variable to its cheapest bound.
         if m == 0 {
@@ -512,25 +526,28 @@ impl Tableau {
                     if self.lower[j].is_finite() {
                         self.lower[j]
                     } else {
-                        return unbounded(0);
+                        return (unbounded(0), 0);
                     }
                 } else if c < 0.0 {
                     if self.upper[j].is_finite() {
                         self.upper[j]
                     } else {
-                        return unbounded(0);
+                        return (unbounded(0), 0);
                     }
                 } else {
                     self.nb_value(j)
                 };
             }
             let obj = p.objective_value(&x);
-            return Solution {
-                status: LpStatus::Optimal,
-                objective: obj,
-                x,
-                iterations: 0,
-            };
+            return (
+                Solution {
+                    status: LpStatus::Optimal,
+                    objective: obj,
+                    x,
+                    iterations: 0,
+                },
+                0,
+            );
         }
         self.reset_phase1();
         // Phase 1: minimize sum of artificials.
@@ -538,7 +555,7 @@ impl Tableau {
         for j in self.n_struct + m..self.n_total {
             phase1_cost[j] = 1.0;
         }
-        let (s1, it1) = self.iterate(&phase1_cost, opts, opts.max_iters, true);
+        let (s1, it1, polls1) = self.iterate(&phase1_cost, opts, opts.max_iters, true);
         let infeas: f64 = self
             .basis
             .iter()
@@ -547,20 +564,26 @@ impl Tableau {
             .map(|(k, _)| self.beta[k].max(0.0))
             .sum();
         if s1 == LpStatus::IterLimit || s1 == LpStatus::TimeLimit {
-            return Solution {
-                status: s1,
-                objective: f64::NAN,
-                x: Vec::new(),
-                iterations: it1,
-            };
+            return (
+                Solution {
+                    status: s1,
+                    objective: f64::NAN,
+                    x: Vec::new(),
+                    iterations: it1,
+                },
+                polls1,
+            );
         }
         if infeas > 1e-6 {
-            return Solution {
-                status: LpStatus::Infeasible,
-                objective: f64::NAN,
-                x: Vec::new(),
-                iterations: it1,
-            };
+            return (
+                Solution {
+                    status: LpStatus::Infeasible,
+                    objective: f64::NAN,
+                    x: Vec::new(),
+                    iterations: it1,
+                },
+                polls1,
+            );
         }
         // Freeze artificials at zero so they never re-enter.
         for j in self.n_struct + m..self.n_total {
@@ -572,15 +595,18 @@ impl Tableau {
         }
         // Phase 2.
         let cost = self.cost.clone();
-        let (s2, it2) = self.iterate(&cost, opts, opts.max_iters.saturating_sub(it1), false);
+        let (s2, it2, polls2) = self.iterate(&cost, opts, opts.max_iters.saturating_sub(it1), false);
         let x = self.extract(p);
         let obj = p.objective_value(&x);
-        Solution {
-            status: s2,
-            objective: obj,
-            x,
-            iterations: it1 + it2,
-        }
+        (
+            Solution {
+                status: s2,
+                objective: obj,
+                x,
+                iterations: it1 + it2,
+            },
+            polls1 + polls2,
+        )
     }
 
     fn extract(&self, p: &Problem) -> Vec<f64> {

@@ -65,6 +65,24 @@ pub struct DesResult {
     pub packets: usize,
     /// Total hops traversed by all packets.
     pub total_hops: u64,
+    /// Bytes carried by each directed channel slot (indexed like
+    /// [`Torus::channel_id`]). This is the simulator's observed channel
+    /// load — the empirical counterpart of the oblivious flow model's
+    /// [`ChannelLoads`](rahtm_routing::ChannelLoads).
+    pub channel_bytes: Vec<f64>,
+}
+
+impl DesResult {
+    /// The heaviest observed channel load (bytes) — the DES analogue of
+    /// the flow model's MCL.
+    pub fn max_channel_bytes(&self) -> f64 {
+        self.channel_bytes.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total bytes carried across all channels (= Σ per-hop bytes).
+    pub fn total_channel_bytes(&self) -> f64 {
+        self.channel_bytes.iter().sum()
+    }
 }
 
 #[derive(Debug)]
@@ -154,8 +172,9 @@ pub fn simulate_phase(
             seq += 1;
         }
     }
-    // per-channel-slot next-free time
+    // per-channel-slot next-free time and carried bytes
     let mut chan_free = vec![0.0f64; topo.num_channel_slots()];
+    let mut channel_bytes = vec![0.0f64; topo.num_channel_slots()];
 
     while let Some(ev) = heap.pop() {
         let p = &mut packets[ev.packet];
@@ -211,6 +230,7 @@ pub fn simulate_phase(
         let service = packets[ev.packet].bytes / (cfg.link_bandwidth * width);
         let depart = start + service;
         chan_free[ch as usize] = depart;
+        channel_bytes[ch as usize] += packets[ev.packet].bytes;
         let next = topo.step(ev.node, dim, dir);
         packets[ev.packet].hops += 1;
         heap.push(Event {
@@ -240,6 +260,7 @@ pub fn simulate_phase(
         },
         packets: packets.len(),
         total_hops,
+        channel_bytes,
     }
 }
 
@@ -369,6 +390,17 @@ mod tests {
             r.makespan,
             single_path_bound
         );
+    }
+
+    #[test]
+    fn channel_bytes_track_every_traversal() {
+        let topo = Torus::mesh(&[4]);
+        let g = one_flow(4, 0, 3, 512.0);
+        let r = simulate_phase(&topo, &g, &[0, 1, 2, 3], &DesConfig::default());
+        // one 512-byte packet crossing 3 links: 3 channels carry 512 bytes
+        assert_eq!(r.max_channel_bytes(), 512.0);
+        assert_eq!(r.total_channel_bytes(), 3.0 * 512.0);
+        assert_eq!(r.channel_bytes.iter().filter(|&&b| b > 0.0).count(), 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use rahtm_commgraph::CommGraph;
 use rahtm_lp::Deadline;
+use rahtm_obs::{counters, Recorder};
 use rahtm_routing::{route_graph, Routing};
 use rahtm_topology::{NodeId, Torus};
 use rand::rngs::StdRng;
@@ -36,6 +37,9 @@ pub struct AnnealOptions {
     /// on expiry the best placement found so far is returned. The default
     /// never expires, keeping runs deterministic.
     pub deadline: Deadline,
+    /// Trace sink (disabled by default; accept/reject totals are recorded
+    /// once at the end of the run, never per proposal).
+    pub recorder: Recorder,
 }
 
 impl Default for AnnealOptions {
@@ -47,6 +51,7 @@ impl Default for AnnealOptions {
             seed: 0x5eed,
             routing: Routing::UniformMinimal,
             deadline: Deadline::never(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -60,6 +65,10 @@ pub struct AnnealResult {
     pub mcl: f64,
     /// Proposals evaluated.
     pub iterations: usize,
+    /// Proposals accepted (including downhill moves).
+    pub accepted: usize,
+    /// Proposals rejected and reverted.
+    pub rejected: usize,
 }
 
 /// Maps `graph`'s clusters onto the vertices of `cube` (requires
@@ -92,6 +101,8 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
             placement,
             mcl: cur,
             iterations: 0,
+            accepted: 0,
+            rejected: 0,
         };
     }
 
@@ -101,6 +112,8 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
     let mut temp = t0;
 
     let mut done = 0usize;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
     for it in 0..opts.iterations {
         if it.is_multiple_of(DEADLINE_CHECK_EVERY) && opts.deadline.is_expired() {
             break;
@@ -131,12 +144,14 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
             rng.gen::<f64>() < p
         };
         if accept {
+            accepted += 1;
             cur = cand;
             if cand < best {
                 best = cand;
                 best_placement.copy_from_slice(&placement);
             }
         } else {
+            rejected += 1;
             // revert
             contents.swap(va, vb);
             if let Some(c) = contents[va] {
@@ -148,10 +163,16 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
         }
         temp *= cool;
     }
+    opts.recorder.add(counters::ANNEAL_ACCEPTED, accepted as u64);
+    opts.recorder.add(counters::ANNEAL_REJECTED, rejected as u64);
+    opts.recorder
+        .add(counters::DEADLINE_CHECKS, (done / DEADLINE_CHECK_EVERY + 1) as u64);
     AnnealResult {
         placement: best_placement,
         mcl: best,
         iterations: done,
+        accepted,
+        rejected,
     }
 }
 

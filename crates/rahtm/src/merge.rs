@@ -20,6 +20,7 @@
 use crate::block::Block;
 use rahtm_commgraph::{CommGraph, Rank};
 use rahtm_lp::Deadline;
+use rahtm_obs::{counters, Recorder};
 use rahtm_routing::{route_flow, ChannelLoads, Routing};
 use rahtm_topology::{ChannelId, Coord, NodeId, Orientation, Torus};
 
@@ -46,6 +47,9 @@ pub struct MergeOptions {
     /// identity orientation — a valid (if unoptimized) composition is
     /// always returned. The default never expires.
     pub deadline: Deadline,
+    /// Trace sink (disabled by default; search totals are recorded once
+    /// per merge, never per candidate).
+    pub recorder: Recorder,
 }
 
 impl Default for MergeOptions {
@@ -56,6 +60,7 @@ impl Default for MergeOptions {
             proper_rotations_only: false,
             full_group_member_limit: 64,
             deadline: Deadline::never(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -78,6 +83,9 @@ pub struct MergeResult {
     pub mcl: f64,
     /// Orientation candidates evaluated.
     pub candidates_evaluated: usize,
+    /// Candidates surviving beam truncation across all steps (the beam
+    /// entries actually carried forward).
+    pub candidates_kept: usize,
     /// Whether the wall-clock deadline cut the orientation search short
     /// (unsearched children were composed with identity orientation).
     pub deadline_hit: bool,
@@ -119,10 +127,15 @@ pub fn merge_blocks(
                 .collect::<Vec<_>>(),
         );
         let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing);
+        opts.recorder.incr(counters::DEADLINE_CHECKS);
+        if expired_on_entry {
+            opts.recorder.incr(counters::DEGRADE_IDENTITY_MERGES);
+        }
         return MergeResult {
             block: composed,
             mcl,
             candidates_evaluated: 0,
+            candidates_kept: 0,
             deadline_hit: expired_on_entry,
         };
     }
@@ -187,7 +200,14 @@ pub fn merge_blocks(
     // Merge order: decreasing average pairwise MCL (identity orientations).
     let order = merge_order(topo, graph, children, opts.routing);
 
+    opts.recorder.add(
+        counters::MERGE_ORIENTATIONS,
+        orient_sets.iter().map(|os| os.len() as u64).sum(),
+    );
+
     let mut candidates_evaluated = 0usize;
+    let mut candidates_kept = 0usize;
+    let mut deadline_polls = 1usize; // the entry check above
     let mut node_of = vec![UNPLACED; nclusters];
 
     // --- First pair: exhaustive over both orientation sets. ---
@@ -293,12 +313,14 @@ pub fn merge_blocks(
             choices[b] = ob;
             beam.push(BeamEntry { choices, loads, mcl });
         }
+        candidates_kept += beam.len();
     }
 
     // --- Subsequent blocks: incoming orientations × beam entries. ---
     let mut deadline_hit = false;
     let mut placed: Vec<usize> = vec![a, b];
     for &next in order.iter().skip(2) {
+        deadline_polls += 1;
         if opts.deadline.is_expired() {
             // out of time: children not yet searched keep their identity
             // orientation (filled in below)
@@ -442,6 +464,7 @@ pub fn merge_blocks(
             choices[next] = oi;
             new_beam.push(BeamEntry { choices, loads, mcl });
         }
+        candidates_kept += new_beam.len();
         beam = new_beam;
         placed.push(next);
     }
@@ -482,10 +505,19 @@ pub fn merge_blocks(
     // a deadline-cut search composed children its beam never scored, so
     // recompute the MCL of what was actually built
     let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing);
+    opts.recorder
+        .add(counters::MERGE_CANDIDATES_EVALUATED, candidates_evaluated as u64);
+    opts.recorder
+        .add(counters::MERGE_CANDIDATES_KEPT, candidates_kept as u64);
+    opts.recorder.add(counters::DEADLINE_CHECKS, deadline_polls as u64);
+    if deadline_hit {
+        opts.recorder.incr(counters::DEGRADE_IDENTITY_MERGES);
+    }
     MergeResult {
         block: composed,
         mcl,
         candidates_evaluated,
+        candidates_kept,
         deadline_hit,
     }
 }

@@ -31,6 +31,7 @@ use crate::merge::{merge_blocks, MergeOptions, PositionedBlock};
 use crate::milp::{milp_map, MilpMapOptions};
 use rahtm_commgraph::{CommGraph, Rank, RankGrid};
 use rahtm_lp::{Deadline, MilpOptions, SimplexOptions};
+use rahtm_obs::{counters, gauges, spans, Journal, Recorder};
 use rahtm_routing::{route_graph, Routing};
 use rahtm_topology::{BgqMachine, Coord, NodeId, SubCube, Torus};
 use parking_lot::Mutex;
@@ -177,8 +178,15 @@ pub struct PhaseStats {
     pub milp_nodes: usize,
     /// Orientation candidates evaluated in phase 3.
     pub merge_candidates: usize,
+    /// Candidates surviving beam truncation in phase 3 (entries carried
+    /// forward between beam steps).
+    pub merge_kept: usize,
     /// Parent merges answered by the translation-symmetry cache.
     pub merge_cache_hits: usize,
+    /// Simulated-annealing proposals accepted across all sub-problems.
+    pub anneal_accepted: usize,
+    /// Simulated-annealing proposals rejected across all sub-problems.
+    pub anneal_rejected: usize,
     /// Which ladder level answered each sub-problem, and every fallback
     /// taken (time budget or fault).
     pub degradation: DegradationReport,
@@ -196,7 +204,10 @@ impl PhaseStats {
         self.milp_cache_hits += other.milp_cache_hits;
         self.milp_nodes += other.milp_nodes;
         self.merge_candidates += other.merge_candidates;
+        self.merge_kept += other.merge_kept;
         self.merge_cache_hits += other.merge_cache_hits;
+        self.anneal_accepted += other.anneal_accepted;
+        self.anneal_rejected += other.anneal_rejected;
         self.degradation.absorb(&other.degradation);
     }
 }
@@ -211,6 +222,10 @@ pub struct RahtmResult {
     pub predicted_mcl: f64,
     /// Phase instrumentation.
     pub stats: PhaseStats,
+    /// The full structured trace (`Some` only when the mapper carries a
+    /// live [`Recorder`]): spans, counters, and gauges accumulated across
+    /// every phase and solver of this run.
+    pub journal: Option<Journal>,
 }
 
 /// The RAHTM mapper.
@@ -218,12 +233,28 @@ pub struct RahtmResult {
 pub struct RahtmMapper {
     /// Configuration.
     pub config: RahtmConfig,
+    /// Trace sink threaded through every phase and solver. Disabled by
+    /// default — recording methods short-circuit on one branch, and all
+    /// solver counters are batched per solve, so an untraced run pays
+    /// nothing on the hot paths.
+    pub recorder: Recorder,
 }
 
 impl RahtmMapper {
-    /// Creates a mapper with the given configuration.
+    /// Creates a mapper with the given configuration (tracing disabled).
     pub fn new(config: RahtmConfig) -> Self {
-        RahtmMapper { config }
+        RahtmMapper {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a trace recorder; pass [`Recorder::enabled`] to collect a
+    /// [`Journal`] in [`RahtmResult::journal`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Maps `graph`'s ranks onto `machine`. `grid` is the application's
@@ -327,6 +358,7 @@ impl RahtmMapper {
         };
 
         let mut stats = PhaseStats::default();
+        let t_run = Instant::now();
 
         // ---- Phase 1a: concentration clustering ----
         let t0 = Instant::now();
@@ -338,7 +370,9 @@ impl RahtmMapper {
         let slices = machine.uniform_slices();
         let s = slices.len() as u32;
         let (slice_members, slice_grids) = split_into_slices(&g_node, &node_grid, s);
-        stats.clustering_secs += t0.elapsed().as_secs_f64();
+        let phase1 = t0.elapsed().as_secs_f64();
+        stats.clustering_secs += phase1;
+        self.recorder.record_span_secs(spans::CLUSTERING, phase1);
 
         // ---- Per-slice phases 2+3 (slices are independent; run them on
         // crossbeam scoped threads sharing the sub-problem cache) ----
@@ -398,6 +432,7 @@ impl RahtmMapper {
                     // becomes a typed error.
                     let msg = panic_message(payload.as_ref());
                     stats.degradation.salvaged_workers += 1;
+                    self.recorder.incr(counters::DEGRADE_SALVAGED_WORKERS);
                     stats.degradation.events.push(format!(
                         "slice {si}: worker panicked ({msg}); re-solved sequentially"
                     ));
@@ -454,12 +489,15 @@ impl RahtmMapper {
                         beam_width: cfg.beam_width,
                         routing: cfg.routing,
                         deadline,
+                        recorder: self.recorder.clone(),
                         // slice blocks exceed full_group_member_limit, so the
                         // search automatically restricts to axis flips
                         ..Default::default()
                     },
                 );
                 stats.merge_candidates += res.candidates_evaluated;
+                stats.merge_kept += res.candidates_kept;
+                self.recorder.gauge(gauges::MERGE_MCL_SLICES, res.mcl);
                 if res.deadline_hit {
                     stats.degradation.identity_merges += 1;
                     stats.degradation.events.push(
@@ -469,7 +507,9 @@ impl RahtmMapper {
                 res.block
             }
         };
-        stats.merge_secs += t3.elapsed().as_secs_f64();
+        let slices_secs = t3.elapsed().as_secs_f64();
+        stats.merge_secs += slices_secs;
+        self.recorder.record_span_secs(spans::MERGE_SLICES, slices_secs);
 
         // ---- Expand to a process mapping ----
         let mut node_of_cluster = vec![u32::MAX; g_node.num_ranks() as usize];
@@ -483,7 +523,8 @@ impl RahtmMapper {
         }
         // optional §VI polish pass on the node-level placement
         let node_of_cluster = if cfg.polish_swaps > 0 {
-            crate::refine::polish_placement(
+            let tp = Instant::now();
+            let polished = crate::refine::polish_placement(
                 topo,
                 &g_node,
                 &node_of_cluster,
@@ -491,7 +532,10 @@ impl RahtmMapper {
                 cfg.polish_swaps,
                 cfg.seed,
             )
-            .placement
+            .placement;
+            self.recorder
+                .record_span_secs(spans::POLISH, tp.elapsed().as_secs_f64());
+            polished
         } else {
             node_of_cluster
         };
@@ -503,10 +547,19 @@ impl RahtmMapper {
         let mapping = TaskMapping::from_nodes(machine, node_of_rank);
         let predicted_mcl =
             route_graph(topo, &g_node, &node_of_cluster, cfg.routing).mcl(topo);
+        self.recorder.gauge(gauges::PREDICTED_MCL, predicted_mcl);
+        self.recorder
+            .record_span_secs(spans::PIPELINE, t_run.elapsed().as_secs_f64());
+        let journal = if self.recorder.is_enabled() {
+            Some(self.recorder.journal())
+        } else {
+            None
+        };
         Ok(RahtmResult {
             mapping,
             predicted_mcl,
             stats,
+            journal,
         })
     }
 
@@ -555,7 +608,15 @@ impl RahtmMapper {
         // ---- Phase 1b: hierarchy within the slice ----
         let t0 = Instant::now();
         let levels = build_hierarchy_with(g_slice, sgrid, 1, branching, branching, cfg.tiling_search);
-        stats.clustering_secs += t0.elapsed().as_secs_f64();
+        let hier_secs = t0.elapsed().as_secs_f64();
+        stats.clustering_secs += hier_secs;
+        self.recorder.record_span_secs(spans::CLUSTERING, hier_secs);
+        for (i, lvl) in levels.iter().enumerate() {
+            self.recorder.gauge(
+                &gauges::cluster_level_size(i),
+                lvl.coarse_graph.num_ranks() as f64,
+            );
+        }
 
         // ---- Phase 2: top-down MILP pinning ----
         let t1 = Instant::now();
@@ -607,7 +668,9 @@ impl RahtmMapper {
             }
             pin.push(pin_next);
         }
-        stats.milp_secs += t1.elapsed().as_secs_f64();
+        let milp_secs = t1.elapsed().as_secs_f64();
+        stats.milp_secs += milp_secs;
+        self.recorder.record_span_secs(spans::MILP, milp_secs);
 
         // pin.last(): node coordinates (slice-relative) of every slice
         // cluster (local ids). Wait: for active dims these are 0..side-1;
@@ -636,6 +699,7 @@ impl RahtmMapper {
             .collect();
         let mut sb = 2u16;
         while sb <= side {
+            let t_level = Instant::now();
             // group blocks into parent boxes of side sb on active dims
             let mut groups: HashMap<Coord, Vec<PositionedBlock>> = HashMap::new();
             for b in blocks.drain(..) {
@@ -667,6 +731,7 @@ impl RahtmMapper {
                 if cfg.cache_subproblems {
                     if let Some(coords) = merge_cache.lock().get(&mkey).cloned().as_ref() {
                         stats.merge_cache_hits += 1;
+                        self.recorder.incr(counters::MERGE_CACHE_HITS);
                         let members = canon_ids
                             .iter()
                             .zip(coords)
@@ -682,6 +747,7 @@ impl RahtmMapper {
                         continue;
                     }
                 }
+                self.recorder.incr(counters::MERGE_CACHE_MISSES);
                 let res = merge_blocks(
                     topo,
                     g_node,
@@ -692,10 +758,13 @@ impl RahtmMapper {
                         beam_width: cfg.beam_width,
                         routing: cfg.routing,
                         deadline,
+                        recorder: self.recorder.clone(),
                         ..Default::default()
                     },
                 );
                 stats.merge_candidates += res.candidates_evaluated;
+                stats.merge_kept += res.candidates_kept;
+                self.recorder.gauge(&gauges::merge_mcl(sb), res.mcl);
                 if res.deadline_hit {
                     stats.degradation.identity_merges += 1;
                     stats.degradation.events.push(format!(
@@ -717,9 +786,13 @@ impl RahtmMapper {
                 });
             }
             blocks = new_blocks;
+            self.recorder
+                .record_span_secs(&spans::merge_side(sb), t_level.elapsed().as_secs_f64());
             sb *= 2;
         }
-        stats.merge_secs += t2.elapsed().as_secs_f64();
+        let merge_secs = t2.elapsed().as_secs_f64();
+        stats.merge_secs += merge_secs;
+        self.recorder.record_span_secs(spans::MERGE, merge_secs);
         // invariant: a panic here is caught by the slice-salvage layer and
         // surfaces as RahtmError::WorkerPanic, never a crash of run()
         match blocks.pop() {
@@ -753,9 +826,11 @@ impl RahtmMapper {
         if cfg.cache_subproblems {
             if let Some(hit) = cache.lock().get(&key) {
                 stats.milp_cache_hits += 1;
+                self.recorder.incr(counters::SUB_CACHE_HITS);
                 return hit.clone();
             }
         }
+        self.recorder.incr(counters::SUB_CACHE_MISSES);
         // fault injection counts actual solves (cache hits do no work)
         let fault = cfg.fault_plan.as_ref().and_then(|p| p.check());
         if fault == Some(Fault::WorkerPanic) {
@@ -766,11 +841,14 @@ impl RahtmMapper {
             );
         }
         stats.milp_solves += 1;
+        self.recorder.incr(counters::SUBPROBLEMS_SOLVED);
 
         // Bottom rung: no time even for annealing.
         if deadline.is_expired() {
             stats.degradation.greedy += 1;
             stats.degradation.downgraded += 1;
+            self.recorder.incr(counters::DEGRADE_GREEDY);
+            self.recorder.incr(counters::DEGRADE_DOWNGRADED);
             stats.degradation.events.push(format!(
                 "sub-problem ({} clusters): deadline expired, greedy placement",
                 graph.num_ranks()
@@ -791,16 +869,22 @@ impl RahtmMapper {
                 seed: cfg.seed,
                 routing: cfg.routing,
                 deadline,
+                recorder: self.recorder.clone(),
                 ..Default::default()
             },
         );
+        stats.anneal_accepted += sa.accepted;
+        stats.anneal_rejected += sa.rejected;
         let placement = if !cfg.use_milp {
             // annealing IS the configured top level here — not a downgrade
             stats.degradation.anneal += 1;
+            self.recorder.incr(counters::DEGRADE_ANNEAL);
             sa.placement
         } else if fault == Some(Fault::Infeasible) {
             stats.degradation.anneal += 1;
             stats.degradation.downgraded += 1;
+            self.recorder.incr(counters::DEGRADE_ANNEAL);
+            self.recorder.incr(counters::DEGRADE_DOWNGRADED);
             stats.degradation.events.push(format!(
                 "sub-problem ({} clusters): injected infeasibility, SA incumbent",
                 graph.num_ranks()
@@ -826,6 +910,7 @@ impl RahtmMapper {
                         lp: SimplexOptions {
                             max_iters: cfg.milp_lp_iters,
                             deadline: milp_deadline,
+                            recorder: self.recorder.clone(),
                             ..Default::default()
                         },
                         ..Default::default()
@@ -838,12 +923,15 @@ impl RahtmMapper {
                     if res.deadline_hit {
                         stats.degradation.anneal += 1;
                         stats.degradation.downgraded += 1;
+                        self.recorder.incr(counters::DEGRADE_ANNEAL);
+                        self.recorder.incr(counters::DEGRADE_DOWNGRADED);
                         stats.degradation.events.push(format!(
                             "sub-problem ({} clusters): MILP deadline hit, kept incumbent",
                             graph.num_ranks()
                         ));
                     } else {
                         stats.degradation.milp += 1;
+                        self.recorder.incr(counters::DEGRADE_MILP);
                     }
                     // Keep whichever is better under the oblivious scoring
                     // model (the MILP optimizes the LP split, SA the
@@ -859,6 +947,8 @@ impl RahtmMapper {
                 Err(e) => {
                     stats.degradation.anneal += 1;
                     stats.degradation.downgraded += 1;
+                    self.recorder.incr(counters::DEGRADE_ANNEAL);
+                    self.recorder.incr(counters::DEGRADE_DOWNGRADED);
                     stats.degradation.events.push(format!(
                         "sub-problem ({} clusters): MILP failed ({e}), SA incumbent",
                         graph.num_ranks()

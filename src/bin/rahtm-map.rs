@@ -46,13 +46,14 @@ struct Args {
     milp: bool,
     beam: Option<usize>,
     time_limit: Option<f64>,
+    trace_json: Option<String>,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rahtm-map (--profile FILE.json | --benchmark BT|SP|CG --ranks N)\n       \
      --machine AxBxC... [--cores N] [--grid RxC] [--out FILE.map]\n       \
-     [--fast] [--milp] [--beam N] [--time-limit SECS] [--quiet]"
+     [--fast] [--milp] [--beam N] [--time-limit SECS] [--trace-json FILE] [--quiet]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         milp: false,
         beam: None,
         time_limit: None,
+        trace_json: None,
         quiet: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -143,6 +145,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--time-limit: must be a non-negative number of seconds".into());
                 }
                 a.time_limit = Some(secs);
+                i += 2;
+            }
+            "--trace-json" => {
+                a.trace_json = Some(value(&argv, i, "--trace-json")?);
                 i += 2;
             }
             "--fast" => {
@@ -263,8 +269,15 @@ fn run(args: &Args) -> Result<(), RahtmError> {
         cfg.beam_width = b;
     }
     cfg.time_limit = args.time_limit.map(Duration::from_secs_f64);
+    let recorder = if args.trace_json.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let t0 = std::time::Instant::now();
-    let result = RahtmMapper::new(cfg).run(&machine, &graph, Some(grid))?;
+    let result = RahtmMapper::new(cfg)
+        .with_recorder(recorder)
+        .run(&machine, &graph, Some(grid))?;
     let elapsed = t0.elapsed().as_secs_f64();
 
     let default = TaskMapping::abcdet(&machine, graph.num_ranks());
@@ -298,6 +311,22 @@ fn run(args: &Args) -> Result<(), RahtmError> {
                 d.anneal,
                 d.greedy,
                 d.identity_merges
+            );
+        }
+    }
+    if let Some(path) = &args.trace_json {
+        let journal = result.journal.clone().unwrap_or_default();
+        let text = journal.to_json_pretty();
+        std::fs::write(path, &text).map_err(|e| RahtmError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        if !args.quiet {
+            println!(
+                "trace        : {path} ({} spans, {} counters, {} gauges)",
+                journal.spans.len(),
+                journal.counters.len(),
+                journal.gauges.len()
             );
         }
     }

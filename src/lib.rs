@@ -29,6 +29,7 @@ pub use rahtm_commgraph as commgraph;
 pub use rahtm_core as core;
 pub use rahtm_lp as lp;
 pub use rahtm_netsim as netsim;
+pub use rahtm_obs as obs;
 pub use rahtm_routing as routing;
 pub use rahtm_topology as topology;
 
@@ -46,6 +47,7 @@ pub mod prelude {
     };
     pub use rahtm_lp::Deadline;
     pub use rahtm_netsim::{AppModel, CommTimeModel, DesConfig, DesRouting};
+    pub use rahtm_obs::{Journal, Recorder};
     pub use rahtm_routing::{mapping_hop_bytes, mapping_mcl, ChannelLoads, Routing};
     pub use rahtm_topology::{BgqMachine, Coord, Orientation, SubCube, Torus};
 }

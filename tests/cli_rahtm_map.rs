@@ -69,6 +69,52 @@ fn profile_input() {
     assert!(text.contains("RAHTM MCL"));
 }
 
+/// `--trace-json` writes a well-formed journal whose deterministic content
+/// (everything but wall-clock span durations) is identical run to run —
+/// the acceptance criterion for the trace-export surface.
+#[test]
+fn trace_json_export_is_deterministic() {
+    use rahtm_repro::obs::Journal;
+    let dir = std::env::temp_dir().join("rahtm_cli_test_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |name: &str| -> Journal {
+        let path = dir.join(name);
+        let output = bin()
+            .args([
+                "--benchmark",
+                "CG",
+                "--ranks",
+                "16",
+                "--machine",
+                "4x4",
+                "--cores",
+                "1",
+                "--trace-json",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{output:?}");
+        let text = String::from_utf8_lossy(&output.stdout);
+        assert!(text.contains("trace"), "trace write reported: {text}");
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap())
+                .expect("trace file is valid JSON");
+        Journal::from_json(&json).expect("trace file is a well-formed journal")
+    };
+    let a = run("a.json");
+    let b = run("b.json");
+    // spans present with real timings...
+    assert!(a.span("pipeline").is_some_and(|s| s.secs > 0.0));
+    assert!(a.span("pipeline.milp").is_some());
+    assert!(a.span("pipeline.merge").is_some());
+    // ...counters and gauges populated...
+    assert!(a.counter("pipeline.subproblems_solved").unwrap_or(0) > 0);
+    assert!(a.gauge("pipeline.predicted_mcl").is_some());
+    // ...and the journal is reproducible modulo wall time
+    assert_eq!(a.normalized(), b.normalized());
+}
+
 #[test]
 fn missing_args_fail_cleanly() {
     let output = bin().output().expect("binary runs");

@@ -169,6 +169,123 @@ fn fault_at_later_subproblem_fires_once() {
     assert_eq!(res.stats.degradation.downgraded, 1);
 }
 
+/// The trace journal mirrors the degradation report rung by rung: each
+/// injected fault shows up under the right `degrade.rung.*` counter with
+/// the same totals the report carries.
+#[test]
+fn journal_records_each_degradation_rung() {
+    use rahtm_repro::obs::counters;
+    let machine = BgqMachine::toy_4x4();
+    let g = patterns::halo_2d(4, 4, 10.0, true);
+    let grid = RankGrid::new(&[4, 4]);
+
+    for fault in [Fault::SolverTimeout, Fault::Infeasible] {
+        let res = RahtmMapper::new(milp_cfg(FaultPlan::inject(fault, 0)))
+            .with_recorder(Recorder::enabled())
+            .run(&machine, &g, Some(grid.clone()))
+            .expect("faulted run");
+        let d = &res.stats.degradation;
+        let j = res.journal.as_ref().expect("journal present when enabled");
+        assert_eq!(
+            j.counter(counters::DEGRADE_ANNEAL),
+            Some(d.anneal as u64),
+            "{fault:?}: anneal rung"
+        );
+        assert_eq!(
+            j.counter(counters::DEGRADE_MILP).unwrap_or(0),
+            d.milp as u64,
+            "{fault:?}: milp rung"
+        );
+        assert_eq!(
+            j.counter(counters::DEGRADE_DOWNGRADED),
+            Some(d.downgraded as u64),
+            "{fault:?}: downgrade total"
+        );
+        assert_eq!(j.counter(counters::DEGRADE_GREEDY), None, "{fault:?}: no greedy rung");
+    }
+}
+
+/// A salvaged worker panic lands in the journal exactly once, alongside
+/// the report — and a fault-free control run records no degradation
+/// counters at all.
+#[test]
+fn journal_records_salvage_and_stays_clean_without_faults() {
+    use rahtm_repro::obs::counters;
+    let machine = BgqMachine::toy_4x4();
+    let g = patterns::halo_2d(4, 4, 10.0, true);
+    let grid = RankGrid::new(&[4, 4]);
+
+    let control = RahtmMapper::new(RahtmConfig {
+        fault_plan: None,
+        ..milp_cfg(FaultPlan::inject(Fault::SolverTimeout, 0))
+    })
+    .with_recorder(Recorder::enabled())
+        .run(&machine, &g, Some(grid.clone()))
+        .expect("control run");
+    let j = control.journal.as_ref().expect("journal");
+    for name in [
+        counters::DEGRADE_ANNEAL,
+        counters::DEGRADE_GREEDY,
+        counters::DEGRADE_DOWNGRADED,
+        counters::DEGRADE_IDENTITY_MERGES,
+        counters::DEGRADE_SALVAGED_WORKERS,
+    ] {
+        assert_eq!(j.counter(name), None, "control run must not record {name}");
+    }
+
+    let res = RahtmMapper::new(RahtmConfig {
+        fault_plan: Some(FaultPlan::inject(Fault::WorkerPanic, 0)),
+        ..RahtmConfig::fast()
+    })
+    .with_recorder(Recorder::enabled())
+    .run(&machine, &g, Some(grid))
+    .expect("salvaged run");
+    let j = res.journal.as_ref().expect("journal");
+    assert_eq!(j.counter(counters::DEGRADE_SALVAGED_WORKERS), Some(1));
+    assert_eq!(
+        res.stats.degradation.salvaged_workers, 1,
+        "journal and report agree on the salvage"
+    );
+}
+
+/// Under combined pressure the journal's rung counters still reconcile
+/// with the degradation report, even though which rung answers each
+/// sub-problem is wall-clock dependent.
+#[test]
+fn journal_rungs_reconcile_with_report_under_pressure() {
+    use rahtm_repro::obs::counters;
+    let machine = BgqMachine::new(Torus::torus(&[4, 4]), 16, 4);
+    let g = patterns::halo_2d(8, 8, 5.0, true);
+    let res = RahtmMapper::new(RahtmConfig {
+        time_limit: Some(Duration::from_millis(50)),
+        fault_plan: Some(FaultPlan::inject(Fault::WorkerPanic, 1)),
+        ..RahtmConfig::fast()
+    })
+    .with_recorder(Recorder::enabled())
+    .run(&machine, &g, Some(RankGrid::new(&[8, 8])))
+    .expect("valid mapping under combined pressure");
+    let d = &res.stats.degradation;
+    let j = res.journal.as_ref().expect("journal");
+    let rung = |name| j.counter(name).unwrap_or(0) as usize;
+    // the journal logs all work actually performed, including solves the
+    // panicking worker finished before dying, whose stats the report
+    // discards when the slice is re-solved — so journal >= report, and
+    // the overshoot is bounded by the one salvaged slice's solves
+    let journal_rungs =
+        rung(counters::DEGRADE_MILP) + rung(counters::DEGRADE_ANNEAL) + rung(counters::DEGRADE_GREEDY);
+    let report_rungs = d.milp + d.anneal + d.greedy;
+    assert!(
+        journal_rungs >= report_rungs,
+        "journal rungs {journal_rungs} must cover the report's {report_rungs}: {d:?}"
+    );
+    assert_eq!(
+        journal_rungs,
+        rung("pipeline.subproblems_solved"),
+        "every recorded solve is attributed to exactly one rung"
+    );
+    assert_eq!(rung(counters::DEGRADE_SALVAGED_WORKERS), d.salvaged_workers);
+}
+
 /// The acceptance scenario in miniature plus faults: a tight (but nonzero)
 /// budget and an injected worker panic together still produce a valid
 /// mapping; the report shows which rungs answered.

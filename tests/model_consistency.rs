@@ -134,6 +134,98 @@ fn des_adaptive_no_worse_than_dor_on_benchmarks() {
     assert!(adaptive.makespan <= dor.makespan * 1.02);
 }
 
+/// Differential: under dimension-order routing the oblivious flow model
+/// and the packet simulator follow the same deterministic path convention
+/// (ascending dimensions, positive direction on torus ties), so the
+/// per-channel byte totals must agree exactly — every channel, every NAS
+/// benchmark, every small torus shape.
+#[test]
+fn des_dor_channel_loads_match_flow_model_exactly() {
+    for dims in [&[4u16, 4][..], &[4, 4, 2], &[2, 2, 2]] {
+        let topo = Torus::torus(dims);
+        for bench in [Benchmark::Bt, Benchmark::Sp, Benchmark::Cg] {
+            let g = bench.graph(16);
+            // a nontrivial injective placement onto the (possibly larger) torus
+            let n = topo.num_nodes();
+            let place: Vec<u32> = (0..16).map(|r| (r * 5 + 3) % n).collect();
+            let model = route_graph(&topo, &g, &place, Routing::DimOrder);
+            let des = simulate_phase(
+                &topo,
+                &g,
+                &place,
+                &DesConfig {
+                    routing: DesRouting::DimOrder,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(model.as_slice().len(), des.channel_bytes.len());
+            for (ch, (&m, &d)) in model
+                .as_slice()
+                .iter()
+                .zip(des.channel_bytes.iter())
+                .enumerate()
+            {
+                assert!(
+                    (m - d).abs() <= 1e-6 * m.max(1.0),
+                    "{:?}/{}: channel {ch} model {m} vs DES {d}",
+                    dims,
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+/// Differential: the adaptive simulator still routes minimally, so its
+/// observed channel loads must (a) conserve total hop-bytes exactly like
+/// the uniform-minimal flow model, and (b) have a max channel load that is
+/// at least the LP-optimal adaptive MCL (no minimal routing beats the LP
+/// bound) and in the same regime as the uniform-minimal prediction.
+#[test]
+fn des_adaptive_channel_loads_bracket_oblivious_mcl() {
+    let topo = Torus::torus(&[4, 4, 2]);
+    for bench in [Benchmark::Bt, Benchmark::Sp, Benchmark::Cg] {
+        let g = bench.graph(16);
+        let place: Vec<u32> = (0..16).map(|r| (r * 3 + 1) % 32).collect();
+        let model = route_graph(&topo, &g, &place, Routing::UniformMinimal);
+        let des = simulate_phase(&topo, &g, &place, &DesConfig::default());
+        // (a) conservation: both route minimally, so Σ channel bytes is
+        // exactly Σ flow bytes × distance in both worlds
+        let model_total = model.total(&topo);
+        assert!(
+            (des.total_channel_bytes() - model_total).abs() <= 1e-6 * model_total,
+            "{}: DES total {} vs model total {model_total}",
+            bench.name(),
+            des.total_channel_bytes()
+        );
+        // (b) the max is bracketed: LP optimum below, and the oblivious
+        // uniform-minimal MCL must agree with the observed max within 2x
+        // (adaptive spreads at packet granularity; it cannot do better
+        // than the fractional LP and has no reason to be 2x worse than a
+        // blind uniform split on these well-structured patterns)
+        let flows: Vec<(u32, u32, f64)> = g
+            .flows()
+            .iter()
+            .map(|f| (place[f.src as usize], place[f.dst as usize], f.bytes))
+            .collect();
+        let lp = optimal_adaptive_mcl(&topo, &flows, &Default::default())
+            .expect("LP converges")
+            .mcl;
+        let uniform_mcl = model.mcl(&topo);
+        let des_max = des.max_channel_bytes();
+        assert!(
+            des_max >= lp - 1e-6 * lp.max(1.0),
+            "{}: DES max {des_max} below LP optimum {lp}",
+            bench.name()
+        );
+        assert!(
+            des_max <= 2.0 * uniform_mcl && uniform_mcl <= 2.0 * des_max,
+            "{}: DES max {des_max} vs uniform-minimal MCL {uniform_mcl}",
+            bench.name()
+        );
+    }
+}
+
 /// Execution-time model: mapping-independent computation, so execution
 /// deltas come only from communication (the Fig 8 = damped Fig 10 law).
 #[test]

@@ -6,6 +6,11 @@ use proptest::prelude::*;
 use rahtm_repro::prelude::*;
 use rahtm_repro::routing::route_graph;
 
+/// A seeded bijection on `0..n` (multiplier must be coprime with `n`).
+fn affine_perm(n: u32, mul: u32, add: u32) -> Vec<u32> {
+    (0..n).map(|r| (r * mul + add) % n).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -70,6 +75,68 @@ proptest! {
         );
         let check = mapping_mcl(&cube, &g, &r.placement, Routing::UniformMinimal);
         prop_assert!((r.mcl - check).abs() < 1e-9);
+    }
+
+    /// Metamorphic: the hyperoctahedral symmetries of the torus, composed
+    /// with translations, are graph automorphisms — transporting any
+    /// placement through one must leave the oblivious uniform-minimal MCL
+    /// exactly invariant (minimal paths map onto minimal paths, so channel
+    /// loads are a permutation of each other).
+    #[test]
+    fn mcl_invariant_under_torus_symmetry(
+        seed in 0u64..500,
+        oi in 0usize..8,
+        t0 in 0u16..4,
+        t1 in 0u16..4,
+    ) {
+        let topo = Torus::torus(&[4, 4]);
+        let g = patterns::random(16, 40, 1.0, 20.0, seed);
+        // a nontrivial but deterministic placement
+        let place = affine_perm(16, 5, (seed % 16) as u32);
+        let extent = Coord::new(&[4, 4]);
+        let syms = Orientation::enumerate_for(&extent);
+        prop_assert_eq!(syms.len(), 8); // square torus has the full B_2 group
+        let o = &syms[oi];
+        let place2: Vec<u32> = place
+            .iter()
+            .map(|&v| {
+                let mut c = o.apply(&topo.coord(v), &extent);
+                c.set(0, (c.get(0) + t0) % 4);
+                c.set(1, (c.get(1) + t1) % 4);
+                topo.node_id(&c)
+            })
+            .collect();
+        let a = mapping_mcl(&topo, &g, &place, Routing::UniformMinimal);
+        let b = mapping_mcl(&topo, &g, &place2, Routing::UniformMinimal);
+        prop_assert!(
+            (a - b).abs() <= 1e-9 * a.max(1.0),
+            "MCL changed under torus automorphism: {} vs {}", a, b
+        );
+    }
+
+    /// Metamorphic: renaming ranks consistently (permute flow endpoints AND
+    /// the placement) is a pure relabeling — the physical traffic is
+    /// identical, so the MCL must not move at all.
+    #[test]
+    fn mcl_invariant_under_rank_relabeling(seed in 0u64..500, add in 0u32..16) {
+        let topo = Torus::torus(&[4, 4]);
+        let g = patterns::random(16, 40, 1.0, 20.0, seed);
+        let p = affine_perm(16, 3, add);
+        let mut g2 = CommGraph::new(16);
+        for f in g.flows() {
+            g2.add(p[f.src as usize], p[f.dst as usize], f.bytes);
+        }
+        let place = affine_perm(16, 5, 7);
+        let mut place2 = vec![0u32; 16];
+        for r in 0..16 {
+            place2[p[r] as usize] = place[r];
+        }
+        let a = mapping_mcl(&topo, &g, &place, Routing::UniformMinimal);
+        let b = mapping_mcl(&topo, &g2, &place2, Routing::UniformMinimal);
+        prop_assert!(
+            (a - b).abs() <= 1e-9 * a.max(1.0),
+            "MCL changed under rank relabeling: {} vs {}", a, b
+        );
     }
 
     /// Dimension-permutation mappings are always balanced: every node gets
