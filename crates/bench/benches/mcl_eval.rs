@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rahtm_commgraph::{patterns, Benchmark};
-use rahtm_routing::{route_graph, Routing};
+use rahtm_routing::{route_graph, RouteStencilCache, Routing};
 use rahtm_topology::Torus;
 use std::hint::black_box;
 
@@ -62,10 +62,53 @@ fn bench_benchmark_graphs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached-vs-direct routing: the same full-graph evaluation through a
+/// warmed [`RouteStencilCache`] (translate-and-scatter apply) against the
+/// per-flow lattice-path recomputation it memoizes. Results are
+/// bit-identical; only the cost differs.
+fn bench_stencil_cache(c: &mut Criterion) {
+    let topo = Torus::torus(&[4, 4, 4]);
+    let g = patterns::random(64, 200, 1.0, 100.0, 7);
+    let place: Vec<u32> = (0..64).collect();
+    let mut group = c.benchmark_group("mcl_eval/stencil_cache");
+    for (name, routing) in [
+        ("dor", Routing::DimOrder),
+        ("uniform_minimal", Routing::UniformMinimal),
+    ] {
+        group.bench_function(format!("{name}/direct"), |b| {
+            b.iter(|| {
+                let loads = route_graph(&topo, &g, black_box(&place), routing);
+                black_box(loads.mcl(&topo))
+            })
+        });
+        let cache = RouteStencilCache::new(&topo);
+        // warm: first pass pays the stencil builds, steady state is all hits
+        route_graph_cached(&cache, &topo, &g, &place, routing);
+        group.bench_function(format!("{name}/cached"), |b| {
+            b.iter(|| {
+                let loads = cache.route_graph(&topo, &g, black_box(&place), routing);
+                black_box(loads.mcl(&topo))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn route_graph_cached(
+    cache: &RouteStencilCache,
+    topo: &Torus,
+    g: &rahtm_commgraph::CommGraph,
+    place: &[u32],
+    routing: Routing,
+) -> f64 {
+    cache.route_graph(topo, g, place, routing).mcl(topo)
+}
+
 criterion_group!(
     benches,
     bench_routing_models,
     bench_torus_scaling,
-    bench_benchmark_graphs
+    bench_benchmark_graphs,
+    bench_stencil_cache
 );
 criterion_main!(benches);

@@ -5,9 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rahtm_commgraph::patterns;
 use rahtm_core::block::Block;
 use rahtm_core::merge::{merge_blocks, MergeOptions, PositionedBlock};
-use rahtm_routing::Routing;
+use rahtm_routing::{RouteStencilCache, Routing};
 use rahtm_topology::{Coord, Torus};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn quad_children(seed: u64) -> (Torus, rahtm_commgraph::CommGraph, Vec<PositionedBlock>) {
     let topo = Torus::torus(&[4, 4]);
@@ -106,5 +107,54 @@ fn bench_scoring_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_beam_width, bench_rotation_set, bench_scoring_model);
+/// Cached-vs-private stencils across repeated merges: a shared warmed
+/// [`RouteStencilCache`] (as the pipeline passes between slices) against
+/// the per-call private cache a bare `merge_blocks` builds from cold.
+fn bench_stencil_sharing(c: &mut Criterion) {
+    let (topo, g, children) = quad_children(12);
+    let mut group = c.benchmark_group("merge/stencil_sharing");
+    group.bench_function("private_cache", |b| {
+        b.iter(|| {
+            black_box(merge_blocks(
+                &topo,
+                &g,
+                black_box(&children),
+                &Coord::new(&[0, 0]),
+                &Coord::new(&[4, 4]),
+                &MergeOptions {
+                    beam_width: 64,
+                    routing: Routing::UniformMinimal,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    let shared = Arc::new(RouteStencilCache::new(&topo));
+    group.bench_function("shared_warmed", |b| {
+        b.iter(|| {
+            black_box(merge_blocks(
+                &topo,
+                &g,
+                black_box(&children),
+                &Coord::new(&[0, 0]),
+                &Coord::new(&[4, 4]),
+                &MergeOptions {
+                    beam_width: 64,
+                    routing: Routing::UniformMinimal,
+                    stencils: Some(Arc::clone(&shared)),
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_beam_width,
+    bench_rotation_set,
+    bench_scoring_model,
+    bench_stencil_sharing
+);
 criterion_main!(benches);

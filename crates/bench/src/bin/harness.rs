@@ -25,10 +25,13 @@ use rahtm_bench::experiments::{
 };
 use rahtm_bench::report::{pct, render_table, secs};
 use rahtm_commgraph::{patterns, Benchmark};
+use rahtm_core::anneal::{anneal_map, AnnealOptions};
+use rahtm_core::block::Block;
+use rahtm_core::merge::{merge_blocks, MergeOptions, PositionedBlock};
 use rahtm_core::milp::{milp_map, MilpMapOptions};
 use rahtm_core::{RahtmConfig, RahtmMapper};
 use rahtm_obs::Recorder;
-use rahtm_topology::Torus;
+use rahtm_topology::{Coord, Torus};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +71,7 @@ fn main() {
         "trace" => trace(&scale, &cfg, &args),
         "paper-suite" => paper_suite(&scale, &cfg),
         "opt-time" => opt_time(&scale, &cfg),
+        "perf" => perf(&args),
         "all" => {
             table1();
             table2_check();
@@ -77,9 +81,157 @@ fn main() {
             opt_time(&scale, &cfg);
         }
         _ => {
-            eprintln!("usage: harness <table1|table2-check|fig1|fig8|fig9|fig10|mcl|ablation|validate|opportunity|trace|opt-time|all> [--scale micro|mini|paper] [--milp] [--beam N] [--benchmark BT|SP|CG] [--trace-json FILE]");
+            eprintln!("usage: harness <table1|table2-check|fig1|fig8|fig9|fig10|mcl|ablation|validate|opportunity|trace|opt-time|perf|all> [--scale micro|mini|paper] [--milp] [--beam N] [--benchmark BT|SP|CG] [--trace-json FILE] [--json FILE] [--baseline FILE]");
             std::process::exit(2);
         }
+    }
+}
+
+/// Throughput report for the routing-acceleration hot paths: annealing
+/// proposals/sec, merge-beam candidates/sec, and the end-to-end mini-scale
+/// pipeline wall time. `--json FILE` writes the measurements; `--baseline
+/// FILE` (a previous `--json` output) nests both runs plus speedups so the
+/// committed `BENCH_pr3.json` carries before/after in one document.
+fn perf(args: &[String]) {
+    println!("== perf: anneal / merge / pipeline throughput ==");
+
+    // --- annealing proposals/sec: a leaf-cube sub-problem, best of 3 ---
+    let cube = Torus::two_ary_cube(4);
+    let g = patterns::random(16, 48, 1.0, 20.0, 7);
+    let opts = AnnealOptions {
+        iterations: 50_000,
+        ..Default::default()
+    };
+    let mut anneal_rate = 0.0f64;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let r = anneal_map(&cube, &g, &opts);
+        anneal_rate = anneal_rate.max(r.iterations as f64 / t.elapsed().as_secs_f64());
+    }
+
+    // --- merge candidates/sec: eight 2x2x2 blocks on a 4x4x4 torus ---
+    let topo = Torus::torus(&[4, 4, 4]);
+    let gm = patterns::random(64, 200, 1.0, 20.0, 11);
+    let children: Vec<PositionedBlock> = (0..8)
+        .map(|q| {
+            let base = (q * 8) as u32;
+            PositionedBlock {
+                block: Block {
+                    extent: Coord::new(&[2, 2, 2]),
+                    members: (0..8)
+                        .map(|i| {
+                            (
+                                base + i,
+                                Coord::new(&[(i / 4) as u16, (i / 2 % 2) as u16, (i % 2) as u16]),
+                            )
+                        })
+                        .collect(),
+                },
+                origin: Coord::new(&[
+                    (q / 4) as u16 * 2,
+                    (q / 2 % 2) as u16 * 2,
+                    (q % 2) as u16 * 2,
+                ]),
+            }
+        })
+        .collect();
+    let mut merge_rate = 0.0f64;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let r = merge_blocks(
+            &topo,
+            &gm,
+            &children,
+            &Coord::new(&[0, 0, 0]),
+            &Coord::new(&[4, 4, 4]),
+            &MergeOptions::default(),
+        );
+        merge_rate = merge_rate.max(r.candidates_evaluated as f64 / t.elapsed().as_secs_f64());
+    }
+
+    // --- end-to-end pipeline: mini scale, annealing path, beam 64 ---
+    let mini = Scale::mini();
+    let gp = Benchmark::Cg.graph(mini.ranks);
+    let cfg = RahtmConfig {
+        use_milp: false,
+        ..RahtmConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let res = RahtmMapper::new(cfg).map(&mini.machine, &gp, None);
+    let pipeline_secs = t.elapsed().as_secs_f64();
+
+    // the vendored serde_json has no `json!` macro: build the tree directly
+    use serde_json::Value;
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let measured = obj(vec![
+        ("anneal_proposals_per_sec", Value::Number(anneal_rate)),
+        ("merge_candidates_per_sec", Value::Number(merge_rate)),
+        ("pipeline_mini_secs", Value::Number(pipeline_secs)),
+        ("pipeline_mini_predicted_mcl", Value::Number(res.predicted_mcl)),
+        (
+            "setup",
+            obj(vec![
+                (
+                    "anneal",
+                    Value::String(
+                        "2-ary 4-cube, random(16 clusters, 48 flows), 50k proposals, best of 3"
+                            .into(),
+                    ),
+                ),
+                (
+                    "merge",
+                    Value::String(
+                        "8x 2x2x2 blocks on 4x4x4 torus, random(64, 200), beam 64, best of 3"
+                            .into(),
+                    ),
+                ),
+                (
+                    "pipeline",
+                    Value::String("mini-1k CG, annealing path, beam 64, single run".into()),
+                ),
+            ]),
+        ),
+    ]);
+    println!(
+        "anneal:   {:>12.0} proposals/sec\nmerge:    {:>12.0} candidates/sec\npipeline: {:>12.3} s (mini-1k CG, predicted MCL {:.3})",
+        anneal_rate, merge_rate, pipeline_secs, res.predicted_mcl
+    );
+
+    let report = match flag_value(args, "--baseline") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            let before: serde_json::Value =
+                serde_json::from_str(&text).expect("baseline is valid JSON");
+            // a baseline produced by `--json` is the bare measurement; one
+            // produced by `--baseline` already nests before/after — reuse
+            // its "after" as the comparison point in that case
+            let before = before.get("after").cloned().unwrap_or(before);
+            let ratio = |key: &str| -> f64 {
+                let b = before.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                let a = measured.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                if key.ends_with("_secs") { b / a } else { a / b }
+            };
+            let speedup = obj(vec![
+                ("anneal", Value::Number(ratio("anneal_proposals_per_sec"))),
+                ("merge", Value::Number(ratio("merge_candidates_per_sec"))),
+                ("pipeline", Value::Number(ratio("pipeline_mini_secs"))),
+            ]);
+            obj(vec![
+                ("before", before),
+                ("after", measured.clone()),
+                ("speedup", speedup),
+            ])
+        }
+        None => measured,
+    };
+    if let Some(path) = flag_value(args, "--json") {
+        let text = serde_json::to_string_pretty(&report);
+        std::fs::write(path, text + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
     }
 }
 

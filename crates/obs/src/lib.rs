@@ -72,6 +72,12 @@ pub mod counters {
     pub const DEGRADE_IDENTITY_MERGES: &str = "degrade.identity_merges";
     /// Slice workers that panicked and were re-solved sequentially.
     pub const DEGRADE_SALVAGED_WORKERS: &str = "degrade.salvaged_workers";
+    /// Flow routings answered from the displacement-stencil cache.
+    pub const STENCIL_HITS: &str = "route.stencil.hits";
+    /// Flow routings that built (and inserted) a new stencil.
+    pub const STENCIL_MISSES: &str = "route.stencil.misses";
+    /// Distinct stencils resident in the cache at report time.
+    pub const STENCIL_ENTRIES: &str = "route.stencil.entries";
 }
 
 /// Canonical span names (`.` separates hierarchy levels; a `sideN` /

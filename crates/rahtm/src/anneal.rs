@@ -11,10 +11,11 @@
 use rahtm_commgraph::CommGraph;
 use rahtm_lp::Deadline;
 use rahtm_obs::{counters, Recorder};
-use rahtm_routing::{route_graph, Routing};
+use rahtm_routing::{IncrementalLoads, RouteStencilCache, Routing};
 use rahtm_topology::{NodeId, Torus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// How many proposals run between wall-clock deadline polls. Checking
 /// `Instant::now()` per proposal would dominate the cheap move evaluation.
@@ -40,6 +41,10 @@ pub struct AnnealOptions {
     /// Trace sink (disabled by default; accept/reject totals are recorded
     /// once at the end of the run, never per proposal).
     pub recorder: Recorder,
+    /// Shared routing-stencil cache for the scoring cube (a private one is
+    /// created when absent). Sharing lets sibling sub-problems on the same
+    /// cube reuse each other's displacement stencils.
+    pub stencils: Option<Arc<RouteStencilCache>>,
 }
 
 impl Default for AnnealOptions {
@@ -52,6 +57,7 @@ impl Default for AnnealOptions {
             routing: Routing::UniformMinimal,
             deadline: Deadline::never(),
             recorder: Recorder::disabled(),
+            stencils: None,
         }
     }
 }
@@ -89,10 +95,30 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
         .collect();
     let mut placement: Vec<NodeId> = (0..a as u32).collect();
 
-    let eval = |placement: &[NodeId]| -> f64 {
-        route_graph(cube, graph, placement, opts.routing).mcl(cube)
+    let local_cache;
+    let stencils: &RouteStencilCache = match &opts.stencils {
+        Some(c) => {
+            debug_assert!(c.matches(cube), "stencil cache bound to a different cube");
+            c
+        }
+        None => {
+            local_cache = RouteStencilCache::new(cube);
+            &local_cache
+        }
     };
-    let mut cur = eval(&placement);
+    // Persistent routed state: a proposal re-routes only the flows
+    // incident to the two swapped vertices (O(degree), not O(flows)),
+    // bit-identical to re-routing the whole graph from scratch.
+    let mut inc = IncrementalLoads::new(cube, graph, &placement, opts.routing, stencils);
+    let mut flows_of_cluster: Vec<Vec<u32>> = vec![Vec::new(); a];
+    for (i, f) in graph.flows().iter().enumerate() {
+        if f.src == f.dst {
+            continue; // self-flows never load a channel
+        }
+        flows_of_cluster[f.src as usize].push(i as u32);
+        flows_of_cluster[f.dst as usize].push(i as u32);
+    }
+    let mut cur = inc.mcl();
     let mut best = cur;
     let mut best_placement = placement.clone();
 
@@ -114,6 +140,7 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
     let mut done = 0usize;
     let mut accepted = 0usize;
     let mut rejected = 0usize;
+    let mut touched: Vec<u32> = Vec::new();
     for it in 0..opts.iterations {
         if it.is_multiple_of(DEADLINE_CHECK_EVERY) && opts.deadline.is_expired() {
             break;
@@ -138,12 +165,64 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
         if let Some(c) = contents[vb] {
             placement[c as usize] = vb as NodeId;
         }
-        let cand = eval(&placement);
+        // sorted union of the two moved clusters' incident flows
+        touched.clear();
+        {
+            let la: &[u32] = contents[va]
+                .map(|c| flows_of_cluster[c as usize].as_slice())
+                .unwrap_or(&[]);
+            let lb: &[u32] = contents[vb]
+                .map(|c| flows_of_cluster[c as usize].as_slice())
+                .unwrap_or(&[]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < la.len() || j < lb.len() {
+                match (la.get(i), lb.get(j)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        touched.push(x);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        touched.push(x);
+                        i += 1;
+                    }
+                    (Some(_), Some(&y)) => {
+                        touched.push(y);
+                        j += 1;
+                    }
+                    (Some(&x), None) => {
+                        touched.push(x);
+                        i += 1;
+                    }
+                    (None, Some(&y)) => {
+                        touched.push(y);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        // stage the re-routes: live state is untouched until commit, so a
+        // reject needs no routing back
+        for &fi in &touched {
+            let f = &graph.flows()[fi as usize];
+            inc.stage_flow(
+                fi,
+                cube,
+                stencils,
+                opts.routing,
+                placement[f.src as usize],
+                placement[f.dst as usize],
+                f.bytes,
+            );
+        }
+        let cand = inc.staged_mcl();
         let accept = cand <= cur || {
             let p = ((cur - cand) / temp).exp();
             rng.gen::<f64>() < p
         };
         if accept {
+            inc.commit();
             accepted += 1;
             cur = cand;
             if cand < best {
@@ -151,8 +230,9 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
                 best_placement.copy_from_slice(&placement);
             }
         } else {
+            inc.discard();
             rejected += 1;
-            // revert
+            // revert the placement bookkeeping (the loads never changed)
             contents.swap(va, vb);
             if let Some(c) = contents[va] {
                 placement[c as usize] = va as NodeId;
@@ -180,6 +260,7 @@ pub fn anneal_map(cube: &Torus, graph: &CommGraph, opts: &AnnealOptions) -> Anne
 mod tests {
     use super::*;
     use rahtm_commgraph::patterns;
+    use rahtm_routing::route_graph;
 
     #[test]
     fn deterministic_for_seed() {
@@ -249,6 +330,30 @@ mod tests {
         let r = anneal_map(&cube, &g, &AnnealOptions::default());
         let check = route_graph(&cube, &g, &r.placement, Routing::UniformMinimal).mcl(&cube);
         assert!((r.mcl - check).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_scoring_is_bit_identical_to_scratch() {
+        // The incremental evaluator must report exactly the MCL a full
+        // re-route would: same best placement, bit-equal best MCL, and a
+        // shared external cache must not perturb either.
+        let cube = Torus::two_ary_cube(4);
+        let g = patterns::random(16, 60, 1.0, 30.0, 21);
+        let r = anneal_map(&cube, &g, &AnnealOptions::default());
+        let check = route_graph(&cube, &g, &r.placement, Routing::UniformMinimal).mcl(&cube);
+        assert_eq!(r.mcl, check, "anneal MCL must be bit-identical to scratch");
+        let shared = Arc::new(RouteStencilCache::new(&cube));
+        let r2 = anneal_map(
+            &cube,
+            &g,
+            &AnnealOptions {
+                stencils: Some(Arc::clone(&shared)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.placement, r2.placement);
+        assert_eq!(r.mcl, r2.mcl);
+        assert!(shared.hits() > 0);
     }
 
     use rahtm_commgraph::CommGraph;

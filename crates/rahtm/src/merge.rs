@@ -21,8 +21,9 @@ use crate::block::Block;
 use rahtm_commgraph::{CommGraph, Rank};
 use rahtm_lp::Deadline;
 use rahtm_obs::{counters, Recorder};
-use rahtm_routing::{route_flow, ChannelLoads, Routing};
+use rahtm_routing::{ChannelLoads, RouteStencilCache, Routing};
 use rahtm_topology::{ChannelId, Coord, NodeId, Orientation, Torus};
+use std::sync::Arc;
 
 const UNPLACED: NodeId = NodeId::MAX;
 
@@ -50,6 +51,10 @@ pub struct MergeOptions {
     /// Trace sink (disabled by default; search totals are recorded once
     /// per merge, never per candidate).
     pub recorder: Recorder,
+    /// Shared routing-stencil cache for `topo` (a private one is created
+    /// when absent). The same machine topology hosts every merge of a run,
+    /// so sharing amortizes stencil construction across all of them.
+    pub stencils: Option<Arc<RouteStencilCache>>,
 }
 
 impl Default for MergeOptions {
@@ -61,6 +66,7 @@ impl Default for MergeOptions {
             full_group_member_limit: 64,
             deadline: Deadline::never(),
             recorder: Recorder::disabled(),
+            stencils: None,
         }
     }
 }
@@ -113,6 +119,17 @@ pub fn merge_blocks(
     opts: &MergeOptions,
 ) -> MergeResult {
     assert!(!children.is_empty());
+    let local_cache;
+    let stencils: &RouteStencilCache = match &opts.stencils {
+        Some(c) => {
+            debug_assert!(c.matches(topo), "stencil cache bound to a different topology");
+            c
+        }
+        None => {
+            local_cache = RouteStencilCache::new(topo);
+            &local_cache
+        }
+    };
     // Trivial cases: single child or no orientation freedom anywhere. An
     // already-expired deadline takes the same path: identity composition
     // is the merge ladder's bottom rung and costs one routing pass.
@@ -126,7 +143,7 @@ pub fn merge_blocks(
                 .map(|c| (c.block.clone(), c.origin))
                 .collect::<Vec<_>>(),
         );
-        let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing);
+        let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing, stencils);
         opts.recorder.incr(counters::DEADLINE_CHECKS);
         if expired_on_entry {
             opts.recorder.incr(counters::DEGRADE_IDENTITY_MERGES);
@@ -198,7 +215,7 @@ pub fn merge_blocks(
         .collect();
 
     // Merge order: decreasing average pairwise MCL (identity orientations).
-    let order = merge_order(topo, graph, children, opts.routing);
+    let order = merge_order(topo, graph, children, opts.routing, stencils);
 
     opts.recorder.add(
         counters::MERGE_ORIENTATIONS,
@@ -209,16 +226,18 @@ pub fn merge_blocks(
     let mut candidates_kept = 0usize;
     let mut deadline_polls = 1usize; // the entry check above
     let mut node_of = vec![UNPLACED; nclusters];
+    // Recycled accumulators for beam re-scoring: entries evicted from the
+    // beam donate their allocation back instead of dropping it.
+    let mut pool: Vec<ChannelLoads> = Vec::new();
 
     // --- First pair: exhaustive over both orientation sets. ---
     let (a, b) = (order[0], order[1]);
-    let pair_flows: Vec<(Rank, Rank, f64)> = local_flows
+    let pair_flows: Vec<&(Rank, Rank, f64)> = local_flows
         .iter()
         .filter(|&&(s, d, _)| {
             let (cs, cd) = (child_of[s as usize], child_of[d as usize]);
             (cs == a || cs == b) && (cd == a || cd == b)
         })
-        .cloned()
         .collect();
     let mut beam: Vec<BeamEntry> = Vec::new();
     {
@@ -247,8 +266,8 @@ pub fn merge_blocks(
                                 node_of[m as usize] = nd;
                             }
                             scratch.clear();
-                            for &(s, d, bytes) in pair_flows {
-                                route_flow(
+                            for &&(s, d, bytes) in pair_flows {
+                                stencils.route_flow(
                                     topo,
                                     opts.routing,
                                     node_of[s as usize],
@@ -290,12 +309,18 @@ pub fn merge_blocks(
         });
         ranked.truncate(opts.beam_width.max(1));
         for (_, oa, ob) in ranked {
-            let mut loads = ChannelLoads::new(topo);
+            let mut loads = match pool.pop() {
+                Some(mut l) => {
+                    l.clear();
+                    l
+                }
+                None => ChannelLoads::new(topo),
+            };
             for &(m, nd) in positions[a][oa].iter().chain(&positions[b][ob]) {
                 node_of[m as usize] = nd;
             }
-            for &(s, d, bytes) in &pair_flows {
-                route_flow(
+            for &&(s, d, bytes) in &pair_flows {
+                stencils.route_flow(
                     topo,
                     opts.routing,
                     node_of[s as usize],
@@ -336,7 +361,7 @@ pub fn merge_blocks(
             }
             m
         };
-        let incident: Vec<(Rank, Rank, f64)> = local_flows
+        let incident: Vec<&(Rank, Rank, f64)> = local_flows
             .iter()
             .filter(|&&(s, d, _)| {
                 let cs = child_of[s as usize];
@@ -344,7 +369,6 @@ pub fn merge_blocks(
                 (cs == next && (placed_mask[cd] || cd == next))
                     || (cd == next && placed_mask[cs])
             })
-            .cloned()
             .collect();
         // Parallelize over beam entries (each worker owns a scratch
         // accumulator and a positions array), deterministic sort after.
@@ -377,8 +401,8 @@ pub fn merge_blocks(
                                 node_of[m as usize] = nd;
                             }
                             scratch.clear();
-                            for &(s, d, bytes) in incident {
-                                route_flow(
+                            for &&(s, d, bytes) in incident {
+                                stencils.route_flow(
                                     topo,
                                     opts.routing,
                                     node_of[s as usize],
@@ -440,9 +464,15 @@ pub fn merge_blocks(
             for &(m, nd) in &positions[next][oi] {
                 node_of[m as usize] = nd;
             }
-            let mut loads = entry.loads.clone();
-            for &(s, d, bytes) in &incident {
-                route_flow(
+            let mut loads = match pool.pop() {
+                Some(mut l) => {
+                    l.copy_from(&entry.loads);
+                    l
+                }
+                None => entry.loads.clone(),
+            };
+            for &&(s, d, bytes) in &incident {
+                stencils.route_flow(
                     topo,
                     opts.routing,
                     node_of[s as usize],
@@ -465,7 +495,8 @@ pub fn merge_blocks(
             new_beam.push(BeamEntry { choices, loads, mcl });
         }
         candidates_kept += new_beam.len();
-        beam = new_beam;
+        let evicted = std::mem::replace(&mut beam, new_beam);
+        pool.extend(evicted.into_iter().map(|e| e.loads));
         placed.push(next);
     }
 
@@ -504,7 +535,7 @@ pub fn merge_blocks(
     );
     // a deadline-cut search composed children its beam never scored, so
     // recompute the MCL of what was actually built
-    let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing);
+    let mcl = block_mcl(topo, graph, &composed, parent_origin, opts.routing, stencils);
     opts.recorder
         .add(counters::MERGE_CANDIDATES_EVALUATED, candidates_evaluated as u64);
     opts.recorder
@@ -539,6 +570,7 @@ fn block_mcl(
     block: &Block,
     origin: &Coord,
     routing: Routing,
+    stencils: &RouteStencilCache,
 ) -> f64 {
     let mut loads = ChannelLoads::new(topo);
     let mut node_of = vec![UNPLACED; graph.num_ranks() as usize];
@@ -548,7 +580,7 @@ fn block_mcl(
     for f in graph.flows() {
         let (ns, nd) = (node_of[f.src as usize], node_of[f.dst as usize]);
         if ns != UNPLACED && nd != UNPLACED {
-            route_flow(topo, routing, ns, nd, f.bytes, &mut loads);
+            stencils.route_flow(topo, routing, ns, nd, f.bytes, &mut loads);
         }
     }
     loads.mcl(topo)
@@ -563,6 +595,7 @@ fn merge_order(
     graph: &CommGraph,
     children: &[PositionedBlock],
     routing: Routing,
+    stencils: &RouteStencilCache,
 ) -> Vec<usize> {
     let k = children.len();
     if k <= 2 {
@@ -586,7 +619,7 @@ fn merge_order(
                 let (cs, cd) = (child_of[f.src as usize], child_of[f.dst as usize]);
                 let cross = (cs == i && cd == j) || (cs == j && cd == i);
                 if cross {
-                    route_flow(
+                    stencils.route_flow(
                         topo,
                         routing,
                         node_at[f.src as usize],
@@ -779,7 +812,8 @@ mod tests {
             &c(&[2, 2]),
             &MergeOptions::default(),
         );
-        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal);
+        let cache = RouteStencilCache::new(&topo);
+        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal, &cache);
         assert!((r.mcl - check).abs() < 1e-9);
     }
 
@@ -859,7 +893,8 @@ mod tests {
         let coords: std::collections::HashSet<_> =
             r.block.members.iter().map(|&(_, x)| x).collect();
         assert_eq!(coords.len(), 8);
-        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal);
+        let cache = RouteStencilCache::new(&topo);
+        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal, &cache);
         assert!((r.mcl - check).abs() < 1e-9);
     }
 
@@ -886,13 +921,63 @@ mod tests {
             &MergeOptions::default(),
         );
         assert_eq!(r.block.members.len(), 6);
-        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal);
+        let cache = RouteStencilCache::new(&topo);
+        let check = block_mcl(&topo, &g, &r.block, &c(&[0, 0]), Routing::UniformMinimal, &cache);
         assert!(
             (r.mcl - check).abs() < 1e-9,
             "incremental mcl {} vs recomputed {}",
             r.mcl,
             check
         );
+    }
+
+    #[test]
+    fn shared_cache_does_not_change_the_merge() {
+        // A pre-warmed shared stencil cache must yield the identical block
+        // and bit-identical MCL as a run with a private cache.
+        let topo = Torus::mesh(&[4, 4]);
+        let g = patterns::random(16, 40, 1.0, 10.0, 11);
+        let children: Vec<PositionedBlock> = (0..4)
+            .map(|q| {
+                let base = q * 4;
+                PositionedBlock {
+                    block: Block {
+                        extent: c(&[2, 2]),
+                        members: vec![
+                            (base + 3, c(&[0, 0])),
+                            (base + 1, c(&[0, 1])),
+                            (base + 2, c(&[1, 0])),
+                            (base, c(&[1, 1])),
+                        ],
+                    },
+                    origin: c(&[(q / 2) as u16 * 2, (q % 2) as u16 * 2]),
+                }
+            })
+            .collect();
+        let private = merge_blocks(&topo, &g, &children, &c(&[0, 0]), &c(&[4, 4]), &MergeOptions::default());
+        let shared = Arc::new(RouteStencilCache::new(&topo));
+        let cached = merge_blocks(
+            &topo,
+            &g,
+            &children,
+            &c(&[0, 0]),
+            &c(&[4, 4]),
+            &MergeOptions { stencils: Some(Arc::clone(&shared)), ..Default::default() },
+        );
+        assert_eq!(private.mcl, cached.mcl);
+        assert_eq!(private.block.members, cached.block.members);
+        assert!(shared.hits() > 0, "second run must hit warmed stencils");
+        // run again through the warmed cache: still identical
+        let rerun = merge_blocks(
+            &topo,
+            &g,
+            &children,
+            &c(&[0, 0]),
+            &c(&[4, 4]),
+            &MergeOptions { stencils: Some(shared), ..Default::default() },
+        );
+        assert_eq!(private.mcl, rerun.mcl);
+        assert_eq!(private.block.members, rerun.block.members);
     }
 
     use rahtm_commgraph::CommGraph;

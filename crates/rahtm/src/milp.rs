@@ -372,6 +372,18 @@ pub fn placement_mcl(cube: &Torus, graph: &CommGraph, placement: &[NodeId], rout
     loads.mcl(cube)
 }
 
+/// [`placement_mcl`] through a shared routing-stencil cache — bit-identical
+/// value, amortized routing cost across repeated incumbent comparisons.
+pub fn placement_mcl_cached(
+    cube: &Torus,
+    graph: &CommGraph,
+    placement: &[NodeId],
+    routing: Routing,
+    stencils: &rahtm_routing::RouteStencilCache,
+) -> f64 {
+    stencils.route_graph(cube, graph, placement, routing).mcl(cube)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,15 +28,16 @@ use crate::error::{panic_message, RahtmError};
 use crate::fault::{Fault, FaultPlan};
 use crate::mapping::TaskMapping;
 use crate::merge::{merge_blocks, MergeOptions, PositionedBlock};
-use crate::milp::{milp_map, MilpMapOptions};
+use crate::milp::{milp_map, placement_mcl_cached, MilpMapOptions};
 use rahtm_commgraph::{CommGraph, Rank, RankGrid};
 use rahtm_lp::{Deadline, MilpOptions, SimplexOptions};
 use rahtm_obs::{counters, gauges, spans, Journal, Recorder};
-use rahtm_routing::{route_graph, Routing};
+use rahtm_routing::{RouteStencilCache, Routing};
 use rahtm_topology::{BgqMachine, Coord, NodeId, SubCube, Torus};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -359,6 +360,9 @@ impl RahtmMapper {
 
         let mut stats = PhaseStats::default();
         let t_run = Instant::now();
+        // One stencil cache for the machine topology serves every merge,
+        // the polish pass, and the final MCL prediction of this run.
+        let machine_stencils = Arc::new(RouteStencilCache::new(topo));
 
         // ---- Phase 1a: concentration clustering ----
         let t0 = Instant::now();
@@ -388,6 +392,7 @@ impl RahtmMapper {
                 let g_node = &g_node;
                 let cache = &cache;
                 let merge_cache = &merge_cache;
+                let machine_stencils = &machine_stencils;
                 handles.push(scope.spawn(move |_| {
                     let mut local_stats = PhaseStats::default();
                     let g_slice = g_node.induced(members);
@@ -400,6 +405,7 @@ impl RahtmMapper {
                         g_node,
                         cache,
                         merge_cache,
+                        machine_stencils,
                         &mut local_stats,
                         deadline,
                     );
@@ -448,6 +454,7 @@ impl RahtmMapper {
                             &g_node,
                             &cache,
                             &merge_cache,
+                            &machine_stencils,
                             &mut local_stats,
                             deadline,
                         );
@@ -490,6 +497,7 @@ impl RahtmMapper {
                         routing: cfg.routing,
                         deadline,
                         recorder: self.recorder.clone(),
+                        stencils: Some(Arc::clone(&machine_stencils)),
                         // slice blocks exceed full_group_member_limit, so the
                         // search automatically restricts to axis flips
                         ..Default::default()
@@ -524,13 +532,14 @@ impl RahtmMapper {
         // optional §VI polish pass on the node-level placement
         let node_of_cluster = if cfg.polish_swaps > 0 {
             let tp = Instant::now();
-            let polished = crate::refine::polish_placement(
+            let polished = crate::refine::polish_placement_with(
                 topo,
                 &g_node,
                 &node_of_cluster,
                 cfg.routing,
                 cfg.polish_swaps,
                 cfg.seed,
+                &machine_stencils,
             )
             .placement;
             self.recorder
@@ -545,9 +554,11 @@ impl RahtmMapper {
             .map(|&cl| node_of_cluster[cl as usize])
             .collect();
         let mapping = TaskMapping::from_nodes(machine, node_of_rank);
-        let predicted_mcl =
-            route_graph(topo, &g_node, &node_of_cluster, cfg.routing).mcl(topo);
+        let predicted_mcl = machine_stencils
+            .route_graph(topo, &g_node, &node_of_cluster, cfg.routing)
+            .mcl(topo);
         self.recorder.gauge(gauges::PREDICTED_MCL, predicted_mcl);
+        machine_stencils.report(&self.recorder);
         self.recorder
             .record_span_secs(spans::PIPELINE, t_run.elapsed().as_secs_f64());
         let journal = if self.recorder.is_enabled() {
@@ -576,6 +587,7 @@ impl RahtmMapper {
         g_node: &CommGraph,
         cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
         merge_cache: &Mutex<HashMap<MergeKey, Vec<Coord>>>,
+        machine_stencils: &Arc<RouteStencilCache>,
         stats: &mut PhaseStats,
         deadline: Deadline,
     ) -> PositionedBlock {
@@ -627,6 +639,8 @@ impl RahtmMapper {
             .collect();
         let root_cube = Torus::with_wraps(&vec![2u16; n_eff], &root_wraps);
         let leaf_cube = Torus::two_ary_cube(n_eff);
+        let root_stencils = Arc::new(RouteStencilCache::new(&root_cube));
+        let leaf_stencils = Arc::new(RouteStencilCache::new(&leaf_cube));
 
         // pin[i][c]: block coordinate (machine dims, slice-relative units of
         // level-i blocks) of cluster c in levels[i].coarse_graph
@@ -634,7 +648,8 @@ impl RahtmMapper {
         let mut pin: Vec<Vec<Coord>> = Vec::with_capacity(d_levels);
         // root solve
         let root_graph = &levels[0].coarse_graph;
-        let root_place = self.solve_subproblem(&root_cube, root_graph, cache, stats, deadline);
+        let root_place =
+            self.solve_subproblem(&root_cube, root_graph, cache, &root_stencils, stats, deadline);
         pin.push(
             root_place
                 .iter()
@@ -652,7 +667,8 @@ impl RahtmMapper {
                     .collect();
                 assert_eq!(children.len(), branching as usize);
                 let induced = child_graph.induced(&children);
-                let place = self.solve_subproblem(&leaf_cube, &induced, cache, stats, deadline);
+                let place = self
+                    .solve_subproblem(&leaf_cube, &induced, cache, &leaf_stencils, stats, deadline);
                 for (li, &child) in children.iter().enumerate() {
                     let v = embed_vertex(&leaf_cube, place[li], &active, nd);
                     let mut c = Coord::zero(nd);
@@ -759,6 +775,7 @@ impl RahtmMapper {
                         routing: cfg.routing,
                         deadline,
                         recorder: self.recorder.clone(),
+                        stencils: Some(Arc::clone(machine_stencils)),
                         ..Default::default()
                     },
                 );
@@ -818,6 +835,7 @@ impl RahtmMapper {
         cube: &Torus,
         graph: &CommGraph,
         cache: &Mutex<HashMap<SubKey, Vec<NodeId>>>,
+        stencils: &Arc<RouteStencilCache>,
         stats: &mut PhaseStats,
         deadline: Deadline,
     ) -> Vec<NodeId> {
@@ -870,6 +888,7 @@ impl RahtmMapper {
                 routing: cfg.routing,
                 deadline,
                 recorder: self.recorder.clone(),
+                stencils: Some(Arc::clone(stencils)),
                 ..Default::default()
             },
         );
@@ -937,7 +956,7 @@ impl RahtmMapper {
                     // model (the MILP optimizes the LP split, SA the
                     // uniform split).
                     let milp_mcl =
-                        route_graph(cube, graph, &res.placement, cfg.routing).mcl(cube);
+                        placement_mcl_cached(cube, graph, &res.placement, cfg.routing, stencils);
                     if milp_mcl <= sa.mcl + 1e-9 {
                         res.placement
                     } else {

@@ -15,7 +15,7 @@
 //! (`RahtmConfig::default` leaves `polish_swaps = 0`).
 
 use rahtm_commgraph::CommGraph;
-use rahtm_routing::{route_graph, Routing};
+use rahtm_routing::{IncrementalLoads, RouteStencilCache, Routing};
 use rahtm_topology::{NodeId, Torus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +52,27 @@ pub fn polish_placement(
     max_proposals: usize,
     seed: u64,
 ) -> PolishResult {
+    let stencils = RouteStencilCache::new(topo);
+    polish_placement_with(topo, graph, placement, routing, max_proposals, seed, &stencils)
+}
+
+/// [`polish_placement`] scoring through a shared routing-stencil cache and
+/// incremental channel loads: a proposal re-routes only the two swapped
+/// clusters' flows. Bit-identical decisions and results.
+///
+/// # Panics
+/// Panics if `placement.len() != graph.num_ranks()` or the placement is
+/// not injective.
+#[allow(clippy::too_many_arguments)]
+pub fn polish_placement_with(
+    topo: &Torus,
+    graph: &CommGraph,
+    placement: &[NodeId],
+    routing: Routing,
+    max_proposals: usize,
+    seed: u64,
+    stencils: &RouteStencilCache,
+) -> PolishResult {
     assert_eq!(placement.len(), graph.num_ranks() as usize);
     let mut place = placement.to_vec();
     {
@@ -63,17 +84,25 @@ pub fn polish_placement(
     for (cl, &n) in place.iter().enumerate() {
         cluster_at[n as usize] = Some(cl as u32);
     }
-    let eval = |p: &[NodeId]| route_graph(topo, graph, p, routing);
-    let mut loads = eval(&place);
-    let initial_mcl = loads.mcl(topo);
+    let mut inc = IncrementalLoads::new(topo, graph, &place, routing, stencils);
+    let mut flows_of_cluster: Vec<Vec<u32>> = vec![Vec::new(); place.len()];
+    for (i, f) in graph.flows().iter().enumerate() {
+        if f.src == f.dst {
+            continue;
+        }
+        flows_of_cluster[f.src as usize].push(i as u32);
+        flows_of_cluster[f.dst as usize].push(i as u32);
+    }
+    let initial_mcl = inc.mcl();
     let mut cur = initial_mcl;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut swaps_accepted = 0;
     let mut proposals = 0;
+    let mut touched: Vec<u32> = Vec::new();
 
     while proposals < max_proposals {
         // find the bottleneck channel's endpoints
-        let Some((bottleneck, _)) = loads.argmax(topo) else {
+        let Some((bottleneck, _)) = inc.argmax() else {
             break;
         };
         let (src_node, dim, dir) = topo.channel_parts(bottleneck);
@@ -105,17 +134,60 @@ pub fn polish_placement(
             }
             proposals += 1;
             place.swap(a as usize, b as usize);
-            let cand_loads = eval(&place);
-            let cand = cand_loads.mcl(topo);
+            // sorted union of the two clusters' incident flows
+            touched.clear();
+            let la = &flows_of_cluster[a as usize];
+            let lb = &flows_of_cluster[b as usize];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < la.len() || j < lb.len() {
+                match (la.get(i), lb.get(j)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        touched.push(x);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        touched.push(x);
+                        i += 1;
+                    }
+                    (Some(_), Some(&y)) => {
+                        touched.push(y);
+                        j += 1;
+                    }
+                    (Some(&x), None) => {
+                        touched.push(x);
+                        i += 1;
+                    }
+                    (None, Some(&y)) => {
+                        touched.push(y);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            for &fi in &touched {
+                let f = &graph.flows()[fi as usize];
+                inc.stage_flow(
+                    fi,
+                    topo,
+                    stencils,
+                    routing,
+                    place[f.src as usize],
+                    place[f.dst as usize],
+                    f.bytes,
+                );
+            }
+            let cand = inc.staged_mcl();
             if cand < cur - 1e-12 {
+                inc.commit();
                 cur = cand;
-                loads = cand_loads;
                 cluster_at[place[a as usize] as usize] = Some(a);
                 cluster_at[place[b as usize] as usize] = Some(b);
                 swaps_accepted += 1;
                 improved = true;
                 break;
             }
+            inc.discard();
             place.swap(a as usize, b as usize);
         }
         if !improved {
@@ -135,6 +207,7 @@ pub fn polish_placement(
 mod tests {
     use super::*;
     use rahtm_commgraph::patterns;
+    use rahtm_routing::route_graph;
 
     #[test]
     fn never_worse_and_stays_injective() {

@@ -26,10 +26,14 @@
 #![deny(missing_docs)]
 
 pub mod adaptive;
+pub mod incremental;
 pub mod load;
 pub mod metrics;
 pub mod oblivious;
+pub mod stencil;
 
+pub use incremental::IncrementalLoads;
 pub use load::ChannelLoads;
 pub use metrics::{mapping_hop_bytes, mapping_mcl, MappingEval};
 pub use oblivious::{route_flow, route_graph, Routing};
+pub use stencil::{RouteStencilCache, Stencil};

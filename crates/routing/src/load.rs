@@ -37,6 +37,18 @@ impl ChannelLoads {
         self.loads.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Overwrites this accumulator with `other`'s loads without
+    /// reallocating — lets hot loops recycle scratch accumulators instead
+    /// of cloning.
+    ///
+    /// # Panics
+    /// Panics if the accumulators belong to different topologies (length
+    /// mismatch).
+    pub fn copy_from(&mut self, other: &ChannelLoads) {
+        assert_eq!(self.loads.len(), other.loads.len());
+        self.loads.copy_from_slice(&other.loads);
+    }
+
     /// Adds another accumulator's loads into this one.
     ///
     /// # Panics

@@ -29,7 +29,10 @@ pub enum Routing {
     UniformMinimal,
 }
 
-/// ln(n!) with a memoized table.
+/// ln(n!): a memoized table for `n ≤ 256` (bit-stable across the whole
+/// workspace), a Stirling-series tail beyond it. The tail keeps long-haul
+/// flows (path length ≥ 257, e.g. a large 1-D torus) routable instead of
+/// panicking; at `n = 257` the series is already accurate to f64 roundoff.
 fn ln_factorial(n: usize) -> f64 {
     static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
     let t = TABLE.get_or_init(|| {
@@ -39,8 +42,13 @@ fn ln_factorial(n: usize) -> f64 {
         }
         v
     });
-    assert!(n < t.len(), "path length beyond table");
-    t[n]
+    if n < t.len() {
+        return t[n];
+    }
+    let x = n as f64;
+    let ln2pi = (2.0 * std::f64::consts::PI).ln();
+    x * x.ln() - x + 0.5 * (ln2pi + x.ln()) + 1.0 / (12.0 * x) - 1.0 / (360.0 * x * x * x)
+        + 1.0 / (1260.0 * x.powi(5))
 }
 
 /// ln of the multinomial path count to offset `q`.
@@ -51,6 +59,108 @@ fn ln_paths(q: &[u16]) -> f64 {
         v -= ln_factorial(x as usize);
     }
     v
+}
+
+/// Number of tie variants a displacement splits into under `routing`.
+pub(crate) fn num_variants(routing: Routing, disp: &[(i32, bool)]) -> u32 {
+    match routing {
+        Routing::DimOrder => 1,
+        Routing::UniformMinimal => 1u32 << disp.iter().filter(|&&(_, tie)| tie).count(),
+    }
+}
+
+/// Enumerates the per-channel load entries of one flow as
+/// `emit(offset-from-source, dim, dir, fraction)` calls, in exactly the
+/// order [`route_flow`] deposits them. Offsets are per-dimension signed
+/// coordinate deltas from the source node; fractions are raw per-variant
+/// path fractions (1.0 for DOR) — a caller accumulating loads multiplies
+/// each by `bytes / num_variants(..)`.
+///
+/// This is the single source of truth for flow enumeration: the direct
+/// router and the stencil builder both call it, so a cached flow can never
+/// drift from a directly routed one — not in values, not in add order.
+pub(crate) fn for_each_entry(
+    routing: Routing,
+    disp: &[(i32, bool)],
+    mut emit: impl FnMut(&[i32], usize, Direction, f64),
+) {
+    let n = disp.len();
+    match routing {
+        Routing::DimOrder => {
+            let mut off = vec![0i32; n];
+            for (dim, &(delta, _tie)) in disp.iter().enumerate() {
+                let dir = if delta >= 0 { Direction::Plus } else { Direction::Minus };
+                for _ in 0..delta.unsigned_abs() {
+                    emit(&off, dim, dir, 1.0);
+                    off[dim] += dir.sign();
+                }
+            }
+        }
+        Routing::UniformMinimal => {
+            // Resolve torus ties by splitting across both orientations.
+            let ties: Vec<usize> = disp
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, tie))| tie)
+                .map(|(d, _)| d)
+                .collect();
+            let variants = 1u32 << ties.len();
+            let mut deltas: Vec<i32> = disp.iter().map(|&(d, _)| d).collect();
+            for mask in 0..variants {
+                for (bit, &dim) in ties.iter().enumerate() {
+                    let mag = disp[dim].0.abs();
+                    deltas[dim] = if (mask >> bit) & 1 == 0 { mag } else { -mag };
+                }
+                uniform_minimal_entries(&deltas, &mut emit);
+            }
+        }
+    }
+}
+
+/// Emits one orientation's uniform-minimal entries (see [`for_each_entry`]).
+fn uniform_minimal_entries(deltas: &[i32], emit: &mut impl FnMut(&[i32], usize, Direction, f64)) {
+    let n = deltas.len();
+    let d: Vec<u16> = deltas.iter().map(|&x| x.unsigned_abs() as u16).collect();
+    let total_hops: usize = d.iter().map(|&x| x as usize).sum();
+    if total_hops == 0 {
+        return;
+    }
+    let ln_total = ln_paths(&d);
+    // Mixed-radix enumeration of box points p (0..=d_i per dim).
+    let mut p = vec![0u16; n];
+    let mut rem = vec![0u16; n]; // d - p - e_i helper reused
+    let mut off = vec![0i32; n];
+    loop {
+        for dim in 0..n {
+            off[dim] = if deltas[dim] >= 0 { p[dim] as i32 } else { -(p[dim] as i32) };
+        }
+        let ln_pre = ln_paths(&p);
+        for dim in 0..n {
+            if p[dim] < d[dim] {
+                rem.copy_from_slice(&d);
+                for (r, pv) in rem.iter_mut().zip(&p) {
+                    *r -= pv;
+                }
+                rem[dim] -= 1;
+                let frac = (ln_pre + ln_paths(&rem) - ln_total).exp();
+                let dir = if deltas[dim] >= 0 { Direction::Plus } else { Direction::Minus };
+                emit(&off, dim, dir, frac);
+            }
+        }
+        // increment mixed-radix counter
+        let mut dim = n;
+        loop {
+            if dim == 0 {
+                return;
+            }
+            dim -= 1;
+            if p[dim] < d[dim] {
+                p[dim] += 1;
+                break;
+            }
+            p[dim] = 0;
+        }
+    }
 }
 
 /// Accumulates the channel loads of one flow under `routing`.
@@ -68,102 +178,21 @@ pub fn route_flow(
         return;
     }
     let disp = topo.displacement(src, dst);
-    match routing {
-        Routing::DimOrder => {
-            let mut cur = src;
-            for (dim, &(delta, _tie)) in disp.iter().enumerate() {
-                let dir = if delta >= 0 { Direction::Plus } else { Direction::Minus };
-                for _ in 0..delta.unsigned_abs() {
-                    let ch = topo
-                        .channel_id(cur, dim, dir)
-                        .expect("minimal path crosses missing channel");
-                    loads.add(ch, bytes);
-                    cur = topo.step(cur, dim, dir);
-                }
-            }
-            debug_assert_eq!(cur, dst);
-        }
-        Routing::UniformMinimal => {
-            // Resolve torus ties by splitting across both orientations.
-            let ties: Vec<usize> = disp
-                .iter()
-                .enumerate()
-                .filter(|(_, &(_, tie))| tie)
-                .map(|(d, _)| d)
-                .collect();
-            let variants = 1u32 << ties.len();
-            let weight = bytes / variants as f64;
-            let mut deltas: Vec<i32> = disp.iter().map(|&(d, _)| d).collect();
-            for mask in 0..variants {
-                for (bit, &dim) in ties.iter().enumerate() {
-                    let mag = disp[dim].0.abs();
-                    deltas[dim] = if (mask >> bit) & 1 == 0 { mag } else { -mag };
-                }
-                uniform_minimal_variant(topo, src, &deltas, weight, loads);
-            }
-        }
-    }
-}
-
-/// Spreads `weight` uniformly over the minimal paths of one orientation.
-fn uniform_minimal_variant(
-    topo: &Torus,
-    src: NodeId,
-    deltas: &[i32],
-    weight: f64,
-    loads: &mut ChannelLoads,
-) {
-    let n = topo.ndims();
-    let d: Vec<u16> = deltas.iter().map(|&x| x.unsigned_abs() as u16).collect();
-    let total_hops: usize = d.iter().map(|&x| x as usize).sum();
-    if total_hops == 0 {
-        return;
-    }
-    let ln_total = ln_paths(&d);
+    let weight = bytes / num_variants(routing, &disp) as f64;
     let src_coord = topo.coord(src);
-    // Mixed-radix enumeration of box points p (0..=d_i per dim).
-    let mut p = vec![0u16; n];
-    let mut rem = vec![0u16; n]; // d - p - e_i helper reused
-    loop {
-        // absolute node at offset p
+    let n = topo.ndims();
+    for_each_entry(routing, &disp, |off, dim, dir, frac| {
         let mut c = Coord::zero(n);
-        for dim in 0..n {
-            let k = topo.dim(dim) as i32;
-            let step = if deltas[dim] >= 0 { p[dim] as i32 } else { -(p[dim] as i32) };
-            let v = (src_coord.get(dim) as i32 + step).rem_euclid(k);
-            c.set(dim, v as u16);
+        for d in 0..n {
+            let k = topo.dim(d) as i32;
+            let v = (src_coord.get(d) as i32 + off[d]).rem_euclid(k);
+            c.set(d, v as u16);
         }
-        let node = topo.node_id(&c);
-        let ln_pre = ln_paths(&p);
-        for dim in 0..n {
-            if p[dim] < d[dim] {
-                rem.copy_from_slice(&d);
-                for (r, pv) in rem.iter_mut().zip(&p) {
-                    *r -= pv;
-                }
-                rem[dim] -= 1;
-                let frac = (ln_pre + ln_paths(&rem) - ln_total).exp();
-                let dir = if deltas[dim] >= 0 { Direction::Plus } else { Direction::Minus };
-                let ch = topo
-                    .channel_id(node, dim, dir)
-                    .expect("minimal path crosses missing channel");
-                loads.add(ch, weight * frac);
-            }
-        }
-        // increment mixed-radix counter
-        let mut dim = n;
-        loop {
-            if dim == 0 {
-                return;
-            }
-            dim -= 1;
-            if p[dim] < d[dim] {
-                p[dim] += 1;
-                break;
-            }
-            p[dim] = 0;
-        }
-    }
+        let ch = topo
+            .channel_id(topo.node_id(&c), dim, dir)
+            .expect("minimal path crosses missing channel");
+        loads.add(ch, weight * frac);
+    });
 }
 
 /// Routes every flow of `graph` under the rank→node `placement` and
@@ -366,6 +395,52 @@ mod tests {
             route_flow(&t, Routing::DimOrder, src, dst, 10.0, &mut ld);
             prop_assert!(lu.mcl(&t) <= ld.mcl(&t) + 1e-9);
         }
+    }
+
+    /// Regression: paths of length >= 257 used to panic in `ln_factorial`
+    /// (fixed-size log table). A long-haul flow on a large 1-D torus now
+    /// routes fine and conserves load through the Stirling tail.
+    #[test]
+    fn long_haul_flow_on_large_torus() {
+        let t = Torus::torus(&[600]);
+        let mut l = ChannelLoads::new(&t);
+        // 0 -> 300 is a 300-hop tie: splits both ways around the ring.
+        route_flow(&t, Routing::UniformMinimal, 0, 300, 4.0, &mut l);
+        assert!((l.get(t.channel_id(0, 0, Direction::Plus).unwrap()) - 2.0).abs() < 1e-9);
+        assert!((l.get(t.channel_id(0, 0, Direction::Minus).unwrap()) - 2.0).abs() < 1e-9);
+        assert!((l.total(&t) - 4.0 * 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_haul_flow_on_large_mesh() {
+        let t = Torus::mesh(&[520]);
+        let mut l = ChannelLoads::new(&t);
+        route_flow(&t, Routing::UniformMinimal, 0, 519, 3.0, &mut l);
+        // single path down the line: every +channel carries the full flow
+        assert!((l.get(t.channel_id(0, 0, Direction::Plus).unwrap()) - 3.0).abs() < 1e-9);
+        assert!((l.total(&t) - 3.0 * 519.0).abs() < 1e-6);
+    }
+
+    /// Multi-dimensional long haul exercises ln_paths with a genuinely
+    /// multinomial count past the table boundary.
+    #[test]
+    fn long_haul_flow_multidim_conserves() {
+        let t = Torus::mesh(&[300, 4]);
+        let src = t.node_id(&Coord::new(&[0, 0]));
+        let dst = t.node_id(&Coord::new(&[299, 3]));
+        let mut l = ChannelLoads::new(&t);
+        route_flow(&t, Routing::UniformMinimal, src, dst, 1.0, &mut l);
+        assert!((l.total(&t) - 302.0).abs() < 1e-6);
+        // outflow at the source still sums to the volume
+        let mut out = 0.0;
+        for dim in 0..2 {
+            for dir in Direction::both() {
+                if let Some(ch) = t.channel_id(src, dim, dir) {
+                    out += l.get(ch);
+                }
+            }
+        }
+        assert!((out - 1.0).abs() < 1e-9);
     }
 
     use rahtm_commgraph::CommGraph;

@@ -200,6 +200,14 @@ impl Torus {
         self.num_nodes
     }
 
+    /// Node-id stride of dimension `d` (the id delta of a unit step along
+    /// `d`). Lets routing code translate node ids without going through
+    /// [`Torus::coord`] / [`Torus::node_id`].
+    #[inline]
+    pub fn stride(&self, d: usize) -> u32 {
+        self.strides[d]
+    }
+
     /// True if every dimension has the same extent.
     pub fn is_uniform(&self) -> bool {
         self.dims.windows(2).all(|w| w[0] == w[1])
@@ -326,29 +334,42 @@ impl Torus {
     /// element so callers (e.g. the uniform-minimal routing model) can split
     /// the flow across both directions.
     pub fn displacement(&self, src: NodeId, dst: NodeId) -> Vec<(i32, bool)> {
+        let mut out = vec![(0i32, false); self.ndims()];
+        self.displacement_into(src, dst, &mut out);
+        out
+    }
+
+    /// [`Self::displacement`] into a caller-provided buffer (first
+    /// `ndims()` entries), returning the dimension count. Allocation-free
+    /// for hot paths that resolve displacements per flow.
+    ///
+    /// # Panics
+    /// Panics if `out.len() < self.ndims()`.
+    pub fn displacement_into(&self, src: NodeId, dst: NodeId, out: &mut [(i32, bool)]) -> usize {
+        let n = self.ndims();
+        assert!(out.len() >= n);
         let a = self.coord(src);
         let b = self.coord(dst);
-        (0..self.ndims())
-            .map(|d| {
-                let k = self.dims[d] as i32;
-                let raw = b.get(d) as i32 - a.get(d) as i32;
-                if !self.wrap[d] {
-                    (raw, false)
+        for (d, slot) in out.iter_mut().enumerate().take(n) {
+            let k = self.dims[d] as i32;
+            let raw = b.get(d) as i32 - a.get(d) as i32;
+            *slot = if !self.wrap[d] {
+                (raw, false)
+            } else {
+                // shortest modular displacement in (-k/2, k/2]
+                let m = raw.rem_euclid(k);
+                let fwd = m;
+                let bwd = m - k; // negative
+                if 2 * fwd < k {
+                    (fwd, false)
+                } else if 2 * fwd > k {
+                    (bwd, false)
                 } else {
-                    // shortest modular displacement in (-k/2, k/2]
-                    let m = raw.rem_euclid(k);
-                    let fwd = m;
-                    let bwd = m - k; // negative
-                    if 2 * fwd < k {
-                        (fwd, false)
-                    } else if 2 * fwd > k {
-                        (bwd, false)
-                    } else {
-                        (fwd, true) // tie: k even, |Δ| = k/2 both ways
-                    }
+                    (fwd, true) // tie: k even, |Δ| = k/2 both ways
                 }
-            })
-            .collect()
+            };
+        }
+        n
     }
 
     /// Minimal hop distance between two nodes (respecting wraps).
