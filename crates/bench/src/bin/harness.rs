@@ -160,6 +160,64 @@ fn perf(args: &[String]) {
     let res = RahtmMapper::new(cfg).map(&mini.machine, &gp, None);
     let pipeline_secs = t.elapsed().as_secs_f64();
 
+    // --- MILP branch-and-bound nodes/sec: serial vs work-stealing ---
+    // Same Table II instance and no symmetry pins in either run, so both
+    // solvers chase the same search tree; the metric is pure node
+    // throughput. Speedup is meaningful only with >= `threads` free cores
+    // (cores_available is recorded alongside).
+    let milp_cube = Torus::two_ary_cube(3);
+    let gmilp = patterns::random(8, 12, 1.0, 20.0, 13);
+    let bnb_rate = |threads: usize| -> (f64, usize) {
+        let mut best = 0.0f64;
+        let mut nodes = 0usize;
+        for _ in 0..2 {
+            let t = std::time::Instant::now();
+            let r = milp_map(
+                &milp_cube,
+                &gmilp,
+                &MilpMapOptions {
+                    symmetry_break: false,
+                    milp: rahtm_lp::MilpOptions {
+                        max_nodes: 200,
+                        threads,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .expect("bench instance is feasible");
+            nodes = r.nodes;
+            best = best.max(r.nodes as f64 / t.elapsed().as_secs_f64());
+        }
+        (best, nodes)
+    };
+    let (milp_serial_rate, milp_serial_nodes) = bnb_rate(1);
+    let (milp_parallel_rate, milp_parallel_nodes) = bnb_rate(4);
+    let cores_available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- mini-1k MILP rung under a wall-clock limit ---
+    // The full MILP ladder at mini scale with a finite budget, serial
+    // vs parallel. The rung completes inside the limit when
+    // milp_rung_downgrades == 0; the parallel run additionally shows
+    // the incumbent quality reached within the same node budgets.
+    let milp_rung_limit_secs = 60.0;
+    let milp_rung = |threads: usize| {
+        let cfg_milp = RahtmConfig {
+            use_milp: true,
+            milp_threads: threads,
+            time_limit: Some(std::time::Duration::from_secs_f64(milp_rung_limit_secs)),
+            ..RahtmConfig::default()
+        };
+        let t = std::time::Instant::now();
+        let res = RahtmMapper::new(cfg_milp).map(&mini.machine, &gp, None);
+        (t.elapsed().as_secs_f64(), res)
+    };
+    let (milp_rung_serial_secs, res_serial) = milp_rung(1);
+    let (milp_rung_secs, res_milp) = milp_rung(4);
+    let milp_rung_downgrades = res_milp.stats.degradation.downgraded;
+
     // the vendored serde_json has no `json!` macro: build the tree directly
     use serde_json::Value;
     let obj = |fields: Vec<(&str, Value)>| {
@@ -170,6 +228,46 @@ fn perf(args: &[String]) {
         ("merge_candidates_per_sec", Value::Number(merge_rate)),
         ("pipeline_mini_secs", Value::Number(pipeline_secs)),
         ("pipeline_mini_predicted_mcl", Value::Number(res.predicted_mcl)),
+        ("milp_serial_nodes_per_sec", Value::Number(milp_serial_rate)),
+        (
+            "milp_parallel_nodes_per_sec",
+            Value::Number(milp_parallel_rate),
+        ),
+        (
+            "milp_parallel_speedup",
+            Value::Number(milp_parallel_rate / milp_serial_rate),
+        ),
+        (
+            "milp_serial_nodes",
+            Value::Number(milp_serial_nodes as f64),
+        ),
+        (
+            "milp_parallel_nodes",
+            Value::Number(milp_parallel_nodes as f64),
+        ),
+        ("cores_available", Value::Number(cores_available as f64)),
+        ("milp_rung_limit_secs", Value::Number(milp_rung_limit_secs)),
+        (
+            "milp_rung_serial_secs",
+            Value::Number(milp_rung_serial_secs),
+        ),
+        (
+            "milp_rung_serial_downgrades",
+            Value::Number(res_serial.stats.degradation.downgraded as f64),
+        ),
+        (
+            "milp_rung_serial_predicted_mcl",
+            Value::Number(res_serial.predicted_mcl),
+        ),
+        ("milp_rung_secs", Value::Number(milp_rung_secs)),
+        (
+            "milp_rung_downgrades",
+            Value::Number(milp_rung_downgrades as f64),
+        ),
+        (
+            "milp_rung_predicted_mcl",
+            Value::Number(res_milp.predicted_mcl),
+        ),
         (
             "setup",
             obj(vec![
@@ -191,12 +289,41 @@ fn perf(args: &[String]) {
                     "pipeline",
                     Value::String("mini-1k CG, annealing path, beam 64, single run".into()),
                 ),
+                (
+                    "milp",
+                    Value::String(
+                        "2-ary 3-cube, random(8 clusters, 12 flows), no symmetry pins, \
+                         200-node budget, serial vs 4 work-stealing threads, best of 2"
+                            .into(),
+                    ),
+                ),
+                (
+                    "milp_rung",
+                    Value::String(
+                        "mini-1k CG, full MILP ladder, 60 s wall limit, \
+                         serial solver vs 4 B&B threads + symmetry pruning"
+                            .into(),
+                    ),
+                ),
             ]),
         ),
     ]);
     println!(
         "anneal:   {:>12.0} proposals/sec\nmerge:    {:>12.0} candidates/sec\npipeline: {:>12.3} s (mini-1k CG, predicted MCL {:.3})",
         anneal_rate, merge_rate, pipeline_secs, res.predicted_mcl
+    );
+    println!(
+        "milp:     {:>12.0} nodes/sec serial, {:.0} nodes/sec with 4 threads ({:.2}x on {} core(s))",
+        milp_serial_rate,
+        milp_parallel_rate,
+        milp_parallel_rate / milp_serial_rate,
+        cores_available
+    );
+    println!(
+        "milp rung: serial {milp_rung_serial_secs:.3} s (predicted MCL {:.3}); \
+         4 threads {milp_rung_secs:.3} s of {milp_rung_limit_secs:.0} s limit, \
+         {milp_rung_downgrades} downgrade(s), predicted MCL {:.3}",
+        res_serial.predicted_mcl, res_milp.predicted_mcl
     );
 
     let report = match flag_value(args, "--baseline") {

@@ -30,10 +30,12 @@
 
 pub mod deadline;
 pub mod milp;
+pub mod parallel;
 pub mod problem;
 pub mod simplex;
 
 pub use deadline::Deadline;
 pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use parallel::solve_milp_parallel;
 pub use problem::{Col, Problem, Row, Sense};
-pub use simplex::{solve_lp, LpStatus, SimplexOptions, Solution};
+pub use simplex::{solve_lp, BasisSnapshot, LpStatus, SimplexOptions, SimplexScratch, Solution};

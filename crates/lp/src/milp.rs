@@ -63,6 +63,11 @@ pub struct MilpOptions {
     pub rel_gap: f64,
     /// Optional warm incumbent: a feasible integral point.
     pub initial_incumbent: Option<Vec<f64>>,
+    /// Branch-and-bound worker threads. `1` (the default) runs this
+    /// module's serial depth-first search; larger values dispatch to the
+    /// work-stealing parallel search in [`crate::parallel`], which returns
+    /// the same optimum (see that module for the exact determinism rule).
+    pub threads: usize,
 }
 
 impl Default for MilpOptions {
@@ -73,6 +78,7 @@ impl Default for MilpOptions {
             int_tol: 1e-6,
             rel_gap: 1e-9,
             initial_incumbent: None,
+            threads: 1,
         }
     }
 }
@@ -90,6 +96,9 @@ struct Node {
 /// # Panics
 /// Panics if a provided incumbent is not feasible/integral for `p`.
 pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
+    if opts.threads > 1 {
+        return crate::parallel::solve_milp_parallel(p, opts);
+    }
     let mut work = p.clone();
     let int_cols: Vec<usize> = p.integer_cols().iter().map(|c| c.index()).collect();
 
@@ -278,7 +287,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOptions) -> MilpResult {
 }
 
 /// Absolute slack corresponding to the relative gap.
-fn gap_slack(best_obj: f64, rel_gap: f64) -> f64 {
+pub(crate) fn gap_slack(best_obj: f64, rel_gap: f64) -> f64 {
     if best_obj.is_finite() {
         rel_gap * best_obj.abs().max(1.0)
     } else {
@@ -288,7 +297,7 @@ fn gap_slack(best_obj: f64, rel_gap: f64) -> f64 {
 
 /// Collapse repeated overrides of the same column into their intersection
 /// (keeps the override list minimal and the interval consistent).
-fn fix_override(ov: &mut Vec<(usize, f64, f64)>, j: usize) {
+pub(crate) fn fix_override(ov: &mut Vec<(usize, f64, f64)>, j: usize) {
     let mut lo = f64::NEG_INFINITY;
     let mut hi = f64::INFINITY;
     for &(c, l, h) in ov.iter() {

@@ -84,7 +84,7 @@ impl Default for SimplexOptions {
 
 /// Solves the continuous relaxation of `p` (integrality flags ignored).
 pub fn solve_lp(p: &Problem, opts: &SimplexOptions) -> Solution {
-    let (sol, polls) = Tableau::build(p).solve(opts, p);
+    let (sol, polls) = Tableau::build(p).solve_core(opts);
     opts.recorder.incr(counters::SIMPLEX_SOLVES);
     opts.recorder.add(counters::SIMPLEX_PIVOTS, sol.iterations as u64);
     opts.recorder.add(counters::DEADLINE_CHECKS, polls as u64);
@@ -478,32 +478,8 @@ impl Tableau {
                 self.beta[k] -= delta * t * w[k];
             }
             let enter_val = self.nb_value(j) + delta * t;
-            // pivot binv
-            let wr = w[r];
-            debug_assert!(wr.abs() > 1e-12, "zero pivot");
-            {
-                let (head, tail) = self.binv.split_at_mut(r * m);
-                let (prow, rest) = tail.split_at_mut(m);
-                for x in prow.iter_mut() {
-                    *x /= wr;
-                }
-                for (k, chunk) in head.chunks_mut(m).enumerate() {
-                    let f = w[k];
-                    if f != 0.0 {
-                        for (c, x) in chunk.iter_mut().enumerate() {
-                            *x -= f * prow[c];
-                        }
-                    }
-                }
-                for (off, chunk) in rest.chunks_mut(m).enumerate() {
-                    let f = w[r + 1 + off];
-                    if f != 0.0 {
-                        for (c, x) in chunk.iter_mut().enumerate() {
-                            *x -= f * prow[c];
-                        }
-                    }
-                }
-            }
+            debug_assert!(w[r].abs() > 1e-12, "zero pivot");
+            self.pivot_binv(r, &w);
             // bookkeeping
             self.basis[r] = j;
             self.basis_row[j] = r as u32;
@@ -515,7 +491,36 @@ impl Tableau {
         (LpStatus::IterLimit, iters, polls)
     }
 
-    fn solve(mut self, opts: &SimplexOptions, p: &Problem) -> (Solution, usize) {
+    /// Elementary row update of B⁻¹ after column `w = B⁻¹·A_enter` pivots
+    /// on row `r`. Shared by the primal and dual iterations so both apply
+    /// bit-identical float operations.
+    fn pivot_binv(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let wr = w[r];
+        let (head, tail) = self.binv.split_at_mut(r * m);
+        let (prow, rest) = tail.split_at_mut(m);
+        for x in prow.iter_mut() {
+            *x /= wr;
+        }
+        for (k, chunk) in head.chunks_mut(m).enumerate() {
+            let f = w[k];
+            if f != 0.0 {
+                for (c, x) in chunk.iter_mut().enumerate() {
+                    *x -= f * prow[c];
+                }
+            }
+        }
+        for (off, chunk) in rest.chunks_mut(m).enumerate() {
+            let f = w[r + 1 + off];
+            if f != 0.0 {
+                for (c, x) in chunk.iter_mut().enumerate() {
+                    *x -= f * prow[c];
+                }
+            }
+        }
+    }
+
+    fn solve_core(&mut self, opts: &SimplexOptions) -> (Solution, usize) {
         let m = self.m;
         // Trivial no-constraint case: each variable to its cheapest bound.
         if m == 0 {
@@ -538,7 +543,7 @@ impl Tableau {
                     self.nb_value(j)
                 };
             }
-            let obj = p.objective_value(&x);
+            let obj = self.objective_of(&x);
             return (
                 Solution {
                     status: LpStatus::Optimal,
@@ -596,8 +601,8 @@ impl Tableau {
         // Phase 2.
         let cost = self.cost.clone();
         let (s2, it2, polls2) = self.iterate(&cost, opts, opts.max_iters.saturating_sub(it1), false);
-        let x = self.extract(p);
-        let obj = p.objective_value(&x);
+        let x = self.extract();
+        let obj = self.objective_of(&x);
         (
             Solution {
                 status: s2,
@@ -609,7 +614,13 @@ impl Tableau {
         )
     }
 
-    fn extract(&self, p: &Problem) -> Vec<f64> {
+    /// Structural objective value; matches `Problem::objective_value`
+    /// term-for-term (the tableau's leading costs are the problem's).
+    fn objective_of(&self, x: &[f64]) -> f64 {
+        self.cost[..self.n_struct].iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    fn extract(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.n_struct];
         for (j, xv) in x.iter_mut().enumerate() {
             *xv = if self.basis_row[j] != NONBASIC {
@@ -617,10 +628,342 @@ impl Tableau {
             } else {
                 self.nb_value(j)
             };
-            // Clamp tiny numerical spill back into bounds.
-            *xv = xv.max(p.lower[j]).min(p.upper[j]);
+            // Clamp tiny numerical spill back into bounds (the structural
+            // bounds are copied verbatim from the problem at build time and
+            // only ever replaced wholesale by `SimplexScratch`).
+            *xv = xv.max(self.lower[j]).min(self.upper[j]);
         }
         x
+    }
+}
+
+/// Outcome of the bounded dual-simplex repair loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DualStatus {
+    /// Primal feasibility restored (dual feasibility maintained).
+    Feasible,
+    /// A violated row admits no entering column: primal infeasible.
+    Infeasible,
+    /// Pivot budget or numerics exhausted; caller should solve fresh.
+    Stalled,
+    /// Wall-clock deadline expired.
+    TimeLimit,
+}
+
+impl Tableau {
+    /// Installs a parent-node basis: basis columns, nonbasic rest sides,
+    /// pinned artificials, then refactorizes B⁻¹ against the *current*
+    /// bounds. Returns false when the snapshot does not fit this tableau or
+    /// the basis matrix has gone singular — callers fall back to a fresh
+    /// two-phase solve, which is deterministic, so either path keeps node
+    /// results a pure function of (bounds, snapshot).
+    fn install_snapshot(&mut self, snap: &BasisSnapshot) -> bool {
+        let m = self.m;
+        let ns = self.n_struct;
+        if snap.basis.len() != m || snap.at_upper.len() != ns + m {
+            return false;
+        }
+        for j in 0..self.n_total {
+            self.basis_row[j] = NONBASIC;
+        }
+        self.basis.clear();
+        self.basis.extend_from_slice(&snap.basis);
+        for (r, &j) in self.basis.iter().enumerate() {
+            if j >= ns + m {
+                return false; // snapshots never contain artificials
+            }
+            self.basis_row[j] = r as u32;
+        }
+        self.at_upper[..ns + m].copy_from_slice(&snap.at_upper);
+        for j in ns + m..self.n_total {
+            // Artificials stay fixed at zero: never priced, never basic.
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            self.at_upper[j] = false;
+        }
+        // Defensive rest-side normalization: branching only ever tightens
+        // the bounds of a variable that was *basic* in the parent, so
+        // nonbasic rest bounds are unchanged in practice, but a snapshot is
+        // honored even if a nonbasic side became one-sided.
+        for j in 0..ns + m {
+            if self.basis_row[j] != NONBASIC {
+                continue;
+            }
+            if self.at_upper[j] && !self.upper[j].is_finite() {
+                self.at_upper[j] = false;
+            } else if !self.at_upper[j] && !self.lower[j].is_finite() && self.upper[j].is_finite() {
+                self.at_upper[j] = true;
+            }
+        }
+        self.beta = vec![0.0; m];
+        self.refactorize()
+    }
+
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis
+    /// whose primal values may violate (tightened) bounds, repeatedly kicks
+    /// out the worst violator and enters the column with the smallest dual
+    /// ratio |d_j / α_j| (smallest index on ties — deterministic). Used to
+    /// repair a parent basis after branching instead of re-solving both
+    /// phases from scratch.
+    fn dual_iterate(&mut self, opts: &SimplexOptions, budget: usize) -> (DualStatus, usize, usize) {
+        let m = self.m;
+        let art_start = self.n_struct + m;
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut rho = vec![0.0; m];
+        let cost = self.cost.clone();
+        let mut iters = 0usize;
+        let mut polls = 0usize;
+        loop {
+            if iters.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                polls += 1;
+                if opts.deadline.is_expired() {
+                    return (DualStatus::TimeLimit, iters, polls);
+                }
+            }
+            // Leaving row: worst primal bound violation.
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, above upper?)
+            for k in 0..m {
+                let j = self.basis[k];
+                if self.beta[k] < self.lower[j] - opts.feas_tol {
+                    let v = self.lower[j] - self.beta[k];
+                    if leave.is_none_or(|(_, bv, _)| v > bv) {
+                        leave = Some((k, v, false));
+                    }
+                } else if self.beta[k] > self.upper[j] + opts.feas_tol {
+                    let v = self.beta[k] - self.upper[j];
+                    if leave.is_none_or(|(_, bv, _)| v > bv) {
+                        leave = Some((k, v, true));
+                    }
+                }
+            }
+            let Some((r, _, above)) = leave else {
+                return (DualStatus::Feasible, iters, polls);
+            };
+            if iters >= budget {
+                return (DualStatus::Stalled, iters, polls);
+            }
+            self.duals(&cost, &mut y);
+            rho.copy_from_slice(&self.binv[r * m..(r + 1) * m]);
+            // Entering column: dual ratio test over eligible nonbasics.
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            for j in 0..art_start {
+                if self.basis_row[j] != NONBASIC || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(row, a) in &self.cols[j] {
+                    alpha += rho[row] * a;
+                }
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                let at_up = self.at_upper[j];
+                let free = !self.lower[j].is_finite() && !self.upper[j].is_finite();
+                // above upper => x_B[r] must decrease; below lower => increase.
+                // An at-lower column may only increase (changing x_B[r] by
+                // −α·t), an at-upper column may only decrease (+α·t).
+                let eligible = if above {
+                    free || (!at_up && alpha > 0.0) || (at_up && alpha < 0.0)
+                } else {
+                    free || (!at_up && alpha < 0.0) || (at_up && alpha > 0.0)
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(&cost, &y, j);
+                let ratio = (d / alpha).abs();
+                let better = match enter {
+                    None => true,
+                    Some((bj, br)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && j < bj),
+                };
+                if better {
+                    enter = Some((j, ratio));
+                }
+            }
+            let Some((j, _)) = enter else {
+                // Farkas certificate: the violated row cannot be repaired.
+                return (DualStatus::Infeasible, iters, polls);
+            };
+            self.ftran(j, &mut w);
+            if w[r].abs() < 1e-10 {
+                return (DualStatus::Stalled, iters, polls);
+            }
+            let leaving = self.basis[r];
+            self.pivot_binv(r, &w);
+            self.basis[r] = j;
+            self.basis_row[j] = r as u32;
+            self.basis_row[leaving] = NONBASIC;
+            self.at_upper[leaving] = above; // rest at the bound it violated
+            self.recompute_beta();
+            iters += 1;
+        }
+    }
+}
+
+/// An optimal basis captured after a node's LP solve, cheap to clone onto
+/// child branch-and-bound nodes. Holds the basic column of every row plus
+/// the rest side of every structural/slack column; artificial columns are
+/// never included (a snapshot is only taken when none is basic).
+#[derive(Clone, Debug)]
+pub struct BasisSnapshot {
+    basis: Vec<usize>,
+    at_upper: Vec<bool>,
+}
+
+/// Persistent simplex state for repeated node solves over one [`Problem`]
+/// whose *bounds* vary (branch-and-bound). Building the tableau, slacks,
+/// and artificials happens once; each node then either warm-starts from
+/// its parent's [`BasisSnapshot`] via [`SimplexScratch::resolve_from_basis`]
+/// (a bounded dual-simplex repair) or re-runs the full two-phase solve.
+///
+/// Every entry point is a pure function of the installed bounds and the
+/// given snapshot — no hidden state leaks between solves — which is what
+/// lets the parallel branch-and-bound return interleaving-independent
+/// results.
+pub struct SimplexScratch {
+    tab: Tableau,
+    base_lower: Vec<f64>,
+    base_upper: Vec<f64>,
+}
+
+/// Extra dual-repair pivots allowed beyond `4·m` before falling back to a
+/// fresh solve (repairing one branched bound typically takes 1–5 pivots).
+const DUAL_REPAIR_EXTRA_ITERS: usize = 32;
+
+impl SimplexScratch {
+    /// Builds the persistent tableau for `p`; `p`'s bounds become the base
+    /// bounds every [`SimplexScratch::set_node_bounds`] call starts from.
+    pub fn new(p: &Problem) -> SimplexScratch {
+        let tab = Tableau::build(p);
+        let ns = tab.n_struct;
+        SimplexScratch {
+            base_lower: tab.lower[..ns].to_vec(),
+            base_upper: tab.upper[..ns].to_vec(),
+            tab,
+        }
+    }
+
+    /// Installs a node's bounds: the root problem's bounds overlaid with
+    /// the node's accumulated `(col, lower, upper)` overrides.
+    pub fn set_node_bounds(&mut self, overrides: &[(usize, f64, f64)]) {
+        let ns = self.tab.n_struct;
+        self.tab.lower[..ns].copy_from_slice(&self.base_lower);
+        self.tab.upper[..ns].copy_from_slice(&self.base_upper);
+        for &(j, lo, hi) in overrides {
+            self.tab.lower[j] = lo;
+            self.tab.upper[j] = hi;
+        }
+    }
+
+    /// Effective bounds of structural column `j` under the currently
+    /// installed node overrides.
+    pub fn bounds(&self, j: usize) -> (f64, f64) {
+        (self.tab.lower[j], self.tab.upper[j])
+    }
+
+    /// Full two-phase solve under the currently installed bounds; restores
+    /// the artificial columns first so the pivot sequence is bit-identical
+    /// to a from-scratch [`solve_lp`] on the same problem+bounds. Returns
+    /// the solution and the number of deadline polls.
+    pub fn solve_fresh(&mut self, opts: &SimplexOptions) -> (Solution, usize) {
+        let m = self.tab.m;
+        for j in self.tab.n_struct + m..self.tab.n_total {
+            self.tab.lower[j] = 0.0;
+            self.tab.upper[j] = f64::INFINITY;
+        }
+        self.tab.solve_core(opts)
+    }
+
+    /// Captures the current basis for reuse by child nodes, or `None` when
+    /// it cannot seed a dual repair (no rows, or an artificial is still
+    /// basic after a degenerate phase 1).
+    pub fn snapshot(&self) -> Option<BasisSnapshot> {
+        let m = self.tab.m;
+        let ns = self.tab.n_struct;
+        if m == 0 || self.tab.basis.len() != m {
+            return None;
+        }
+        if self.tab.basis.iter().any(|&j| j >= ns + m) {
+            return None;
+        }
+        Some(BasisSnapshot {
+            basis: self.tab.basis.clone(),
+            at_upper: self.tab.at_upper[..ns + m].to_vec(),
+        })
+    }
+
+    /// Warm-started node solve: installs `snap` (the parent's optimal
+    /// basis, dual-feasible for the child because branching only moved the
+    /// bounds of a then-basic column), repairs primal feasibility with the
+    /// bounded dual simplex, then lets the primal pricing loop confirm
+    /// optimality. Any stall, singular refactorization, or dual-side
+    /// infeasibility verdict falls back to [`SimplexScratch::solve_fresh`]
+    /// — the infeasibility fallback re-proves the verdict with phase 1
+    /// rather than trusting a tolerance-sensitive Farkas certificate, so a
+    /// warm solve can never prune a subtree a fresh solve would keep.
+    pub fn resolve_from_basis(
+        &mut self,
+        snap: &BasisSnapshot,
+        opts: &SimplexOptions,
+    ) -> (Solution, usize) {
+        if self.tab.m == 0 || !self.tab.install_snapshot(snap) {
+            return self.solve_fresh(opts);
+        }
+        let budget = (4 * self.tab.m + DUAL_REPAIR_EXTRA_ITERS).min(opts.max_iters);
+        let (ds, it1, polls1) = self.tab.dual_iterate(opts, budget);
+        match ds {
+            DualStatus::Feasible => {
+                let cost = self.tab.cost.clone();
+                let (s2, it2, polls2) =
+                    self.tab
+                        .iterate(&cost, opts, opts.max_iters.saturating_sub(it1), false);
+                match s2 {
+                    LpStatus::Optimal => {
+                        let x = self.tab.extract();
+                        let obj = self.tab.objective_of(&x);
+                        (
+                            Solution {
+                                status: LpStatus::Optimal,
+                                objective: obj,
+                                x,
+                                iterations: it1 + it2,
+                            },
+                            polls1 + polls2,
+                        )
+                    }
+                    LpStatus::TimeLimit => (
+                        Solution {
+                            status: LpStatus::TimeLimit,
+                            objective: f64::NAN,
+                            x: Vec::new(),
+                            iterations: it1 + it2,
+                        },
+                        polls1 + polls2,
+                    ),
+                    // A dual-feasible start cannot be unbounded (weak
+                    // duality); Unbounded or IterLimit here means numerics
+                    // drifted — re-solve from scratch, deterministically.
+                    _ => {
+                        let (sol, polls3) = self.solve_fresh(opts);
+                        (sol, polls1 + polls2 + polls3)
+                    }
+                }
+            }
+            DualStatus::TimeLimit => (
+                Solution {
+                    status: LpStatus::TimeLimit,
+                    objective: f64::NAN,
+                    x: Vec::new(),
+                    iterations: it1,
+                },
+                polls1,
+            ),
+            DualStatus::Infeasible | DualStatus::Stalled => {
+                let (sol, polls2) = self.solve_fresh(opts);
+                (sol, polls1 + polls2)
+            }
+        }
     }
 }
 
@@ -946,6 +1289,148 @@ mod tests {
         assert_close(s.x[1], 7.0 / 3.0);
         assert_close(s.x[0], 10.0 / 3.0);
         assert_close(s.x[2], 1.0 / 3.0);
+    }
+
+    #[test]
+    fn scratch_fresh_solve_matches_solve_lp_bitwise() {
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, 3.0, -1.0);
+        let y = p.add_col("y", 0.0, 2.0, -2.0);
+        p.add_row(Sense::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let opts = SimplexOptions::default();
+        let direct = solve_lp(&p, &opts);
+        let mut scratch = SimplexScratch::new(&p);
+        scratch.set_node_bounds(&[]);
+        let (s, _) = scratch.solve_fresh(&opts);
+        assert_eq!(s.status, direct.status);
+        assert_eq!(s.objective.to_bits(), direct.objective.to_bits());
+        assert_eq!(s.x, direct.x);
+        // and again after a bound change + restore (state must not leak)
+        scratch.set_node_bounds(&[(0, 0.0, 1.0)]);
+        let (tight, _) = scratch.solve_fresh(&opts);
+        assert!(tight.objective > direct.objective);
+        scratch.set_node_bounds(&[]);
+        let (again, _) = scratch.solve_fresh(&opts);
+        assert_eq!(again.objective.to_bits(), direct.objective.to_bits());
+        assert_eq!(again.x, direct.x);
+    }
+
+    #[test]
+    fn resolve_from_basis_repairs_branched_bound() {
+        // LP relaxation of a knapsack: optimum fractional in one var; then
+        // branch that var both ways and check the warm re-solve equals a
+        // fresh solve of the tightened problem.
+        let mut p = Problem::new();
+        let a = p.add_col("a", 0.0, 1.0, -5.0);
+        let b = p.add_col("b", 0.0, 1.0, -4.0);
+        let c = p.add_col("c", 0.0, 1.0, -3.0);
+        p.add_row(Sense::Le, 5.0, &[(a, 2.0), (b, 3.0), (c, 1.0)]);
+        let opts = SimplexOptions::default();
+        let mut scratch = SimplexScratch::new(&p);
+        scratch.set_node_bounds(&[]);
+        let (root, _) = scratch.solve_fresh(&opts);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let snap = scratch.snapshot().expect("root basis snapshot");
+        // find the fractional column (b ends fractional: a=1,c=1,b=2/3)
+        let frac = (0..3)
+            .find(|&j| (root.x[j] - root.x[j].round()).abs() > 1e-6)
+            .expect("fractional var");
+        for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+            scratch.set_node_bounds(&[(frac, lo, hi)]);
+            let (warm, _) = scratch.resolve_from_basis(&snap, &opts);
+            let mut tight = p.clone();
+            tight.lower[frac] = lo;
+            tight.upper[frac] = hi;
+            let fresh = solve_lp(&tight, &SimplexOptions::default());
+            assert_eq!(warm.status, LpStatus::Optimal);
+            assert_eq!(fresh.status, LpStatus::Optimal);
+            assert!(
+                (warm.objective - fresh.objective).abs() < 1e-9,
+                "branch {frac} to [{lo},{hi}]: warm {} vs fresh {}",
+                warm.objective,
+                fresh.objective
+            );
+            assert!(tight.is_feasible(&warm.x, 1e-6));
+            // and the repair really is cheaper than a two-phase solve
+            assert!(warm.iterations <= fresh.iterations);
+        }
+    }
+
+    #[test]
+    fn resolve_from_basis_detects_infeasible_child() {
+        // x + y = 2 with both branched to 0 is infeasible.
+        let mut p = Problem::new();
+        let x = p.add_col("x", 0.0, 1.0, 1.0);
+        let y = p.add_col("y", 0.0, 1.0, 2.0);
+        p.add_row(Sense::Eq, 2.0, &[(x, 1.0), (y, 1.0)]);
+        let opts = SimplexOptions::default();
+        let mut scratch = SimplexScratch::new(&p);
+        scratch.set_node_bounds(&[]);
+        let (root, _) = scratch.solve_fresh(&opts);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let snap = scratch.snapshot().expect("snapshot");
+        scratch.set_node_bounds(&[(0, 0.0, 0.0), (1, 0.0, 0.0)]);
+        let (child, _) = scratch.resolve_from_basis(&snap, &opts);
+        assert_eq!(child.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn resolve_random_lps_matches_fresh_after_random_branch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let opts = SimplexOptions::default();
+        let mut warm_hits = 0usize;
+        for trial in 0..40 {
+            let n = rng.gen_range(2..7);
+            let m = rng.gen_range(1..6);
+            let mut p = Problem::new();
+            let cols: Vec<_> = (0..n)
+                .map(|j| p.add_col(&format!("x{j}"), 0.0, 4.0, rng.gen_range(-3.0..3.0)))
+                .collect();
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.5)).collect();
+            for _ in 0..m {
+                let coeffs: Vec<(crate::problem::Col, f64)> =
+                    cols.iter().map(|&c| (c, rng.gen_range(-2.0..2.0))).collect();
+                let lhs: f64 = coeffs.iter().map(|&(c, a)| a * x0[c.index()]).sum();
+                p.add_row(Sense::Le, lhs + rng.gen_range(0.0..2.0), &coeffs);
+            }
+            let mut scratch = SimplexScratch::new(&p);
+            scratch.set_node_bounds(&[]);
+            let (root, _) = scratch.solve_fresh(&opts);
+            assert_eq!(root.status, LpStatus::Optimal, "trial {trial}");
+            let Some(snap) = scratch.snapshot() else {
+                continue; // degenerate phase 1 left an artificial basic
+            };
+            warm_hits += 1;
+            // branch a random column to a sub-interval of its range
+            let j = rng.gen_range(0..n);
+            let (lo, hi) = if rng.gen_bool(0.5) {
+                (0.0, root.x[j].floor())
+            } else {
+                (root.x[j].floor() + 1.0, 4.0)
+            };
+            if lo > hi {
+                continue;
+            }
+            scratch.set_node_bounds(&[(j, lo, hi)]);
+            let (warm, _) = scratch.resolve_from_basis(&snap, &opts);
+            let mut tight = p.clone();
+            tight.lower[j] = lo;
+            tight.upper[j] = hi;
+            let fresh = solve_lp(&tight, &opts);
+            assert_eq!(warm.status, fresh.status, "trial {trial}");
+            if warm.status == LpStatus::Optimal {
+                assert!(
+                    (warm.objective - fresh.objective).abs() < 1e-7,
+                    "trial {trial}: warm {} fresh {}",
+                    warm.objective,
+                    fresh.objective
+                );
+                assert!(tight.is_feasible(&warm.x, 1e-5), "trial {trial}");
+            }
+        }
+        assert!(warm_hits > 20, "warm path barely exercised: {warm_hits}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod anneal;
 pub mod block;
 pub mod cluster;
+pub mod cores;
 pub mod dragonfly;
 pub mod error;
 pub mod fattree;

@@ -55,6 +55,12 @@ pub struct MergeOptions {
     /// when absent). The same machine topology hosts every merge of a run,
     /// so sharing amortizes stencil construction across all of them.
     pub stencils: Option<Arc<RouteStencilCache>>,
+    /// Core cap for the orientation-search worker pool (`0` = all
+    /// available cores). The pipeline sets this to the calling slice's
+    /// core share ([`crate::cores::share`]) so concurrent slice workers —
+    /// and the MILP's branch-and-bound threads — never oversubscribe the
+    /// machine between them.
+    pub thread_cap: usize,
 }
 
 impl Default for MergeOptions {
@@ -67,6 +73,7 @@ impl Default for MergeOptions {
             deadline: Deadline::never(),
             recorder: Recorder::disabled(),
             stencils: None,
+            thread_cap: 0,
         }
     }
 }
@@ -245,7 +252,7 @@ pub fn merge_blocks(
         // the outer orientations across crossbeam scoped threads (each
         // with its own scratch accumulator), then sort deterministically.
         let oa_count = orient_sets[a].len();
-        let n_threads = num_worker_threads(oa_count);
+        let n_threads = num_worker_threads(oa_count, opts.thread_cap);
         let chunk = oa_count.div_ceil(n_threads);
         let mut ranked: Vec<(f64, usize, usize)> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -372,7 +379,7 @@ pub fn merge_blocks(
             .collect();
         // Parallelize over beam entries (each worker owns a scratch
         // accumulator and a positions array), deterministic sort after.
-        let n_threads = num_worker_threads(beam.len());
+        let n_threads = num_worker_threads(beam.len(), opts.thread_cap);
         let chunk = beam.len().div_ceil(n_threads);
         let mut ranked: Vec<(f64, usize, usize)> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -553,14 +560,11 @@ pub fn merge_blocks(
     }
 }
 
-/// Worker-thread count for a task of `items` independent units: one thread
-/// per ~8 units, capped by available parallelism. Single-threaded for tiny
-/// searches (thread spawn costs more than the work).
-fn num_worker_threads(items: usize) -> usize {
-    let avail = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    (items / 8).clamp(1, avail)
+/// Worker-thread count for a task of `items` independent units, delegated
+/// to the central core-budget helper so this phase shares the machine
+/// with concurrent slice workers and MILP branch-and-bound threads.
+fn num_worker_threads(items: usize, cap: usize) -> usize {
+    crate::cores::workers_for(items, cap)
 }
 
 /// MCL of a block's internal traffic at a given origin.

@@ -22,17 +22,24 @@
 use crate::error::RahtmError;
 use rahtm_commgraph::CommGraph;
 use rahtm_lp::{solve_milp, Col, MilpOptions, MilpStatus, Problem, Sense};
+use rahtm_obs::counters;
 use rahtm_routing::{route_graph, ChannelLoads, Routing};
-use rahtm_topology::{Channel, Direction, NodeId, Torus};
+use rahtm_topology::{Channel, Coord, Direction, NodeId, Orientation, Torus};
 
 /// Options for a Table II solve.
 #[derive(Clone, Debug)]
 pub struct MilpMapOptions {
     /// Enforce constraint C3 (direction binaries). See module docs.
     pub enforce_minimal: bool,
-    /// Pin the heaviest-communicating cluster to vertex 0 (valid symmetry
-    /// breaking on a vertex-transitive cube; the merge phase re-orients
-    /// blocks anyway).
+    /// Hyperoctahedral symmetry breaking. Pins the heaviest-communicating
+    /// cluster to vertex 0 (valid on a vertex-transitive cube; the merge
+    /// phase re-orients blocks anyway), and — on an all-extent-2 cube —
+    /// additionally restricts the second-heaviest cluster to one canonical
+    /// vertex per orbit of the width-preserving axis permutations (the
+    /// stabilizer of vertex 0 in the cube's automorphism group), pruning
+    /// up to `n!` equivalent subtrees before branch-and-bound starts. A
+    /// warm incumbent is canonicalized by the same automorphisms instead
+    /// of being dropped.
     pub symmetry_break: bool,
     /// Branch-and-bound budget and tolerances.
     pub milp: MilpOptions,
@@ -69,6 +76,10 @@ pub struct MilpMapResult {
     /// `opts.milp.lp.deadline` expired (the result is then the best
     /// incumbent, not a proven optimum).
     pub deadline_hit: bool,
+    /// Number of placement columns eliminated by hyperoctahedral orbital
+    /// fixing before branch-and-bound started (0 when `symmetry_break` is
+    /// off or the cube is not an all-extent-2 cube).
+    pub symmetry_pruned: usize,
 }
 
 /// Solves the Table II MILP mapping `graph` onto `cube`.
@@ -184,54 +195,83 @@ pub fn milp_map(
         coeffs.push((z, -ch.width));
         p.add_row(Sense::Le, 0.0, &coeffs);
     }
-    // Symmetry breaking: pin the heaviest cluster to vertex 0.
-    if opts.symmetry_break && a > 0 {
-        let vols = graph.rank_volumes();
-        let heaviest = (0..a)
-            .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
-            .unwrap_or(0);
+    // Symmetry breaking: pin the heaviest cluster to vertex 0 and, on an
+    // all-extent-2 cube, keep only one vertex per orbit of the stabilizer
+    // of vertex 0 for the second-heaviest cluster (orbital fixing).
+    let sym = if opts.symmetry_break && a > 0 {
+        Some(build_symmetry(cube, graph, a, v))
+    } else {
+        None
+    };
+    let mut symmetry_pruned = 0usize;
+    if let Some(s) = &sym {
         for vi in 0..v {
             let want = if vi == 0 { 1.0 } else { 0.0 };
-            p.set_bounds(g[heaviest][vi], want, want);
+            p.set_bounds(g[s.heaviest][vi], want, want);
         }
-        // an incumbent that contradicts the pin must be re-oriented; we
-        // simply drop it in that case (annealing already respects pins via
-        // the caller re-running; cheaper to drop).
+        if let Some(second) = s.second {
+            for vi in 1..v {
+                if !s.canonical[vi] {
+                    p.set_bounds(g[second][vi], 0.0, 0.0);
+                    symmetry_pruned += 1;
+                }
+            }
+        }
+    }
+    if symmetry_pruned > 0 {
+        opts.milp
+            .lp
+            .recorder
+            .add(counters::MILP_SYMMETRY_PRUNED, symmetry_pruned as u64);
     }
 
     // Warm incumbent: expand a placement into a full feasible MILP point.
-    // If the caller gave none (or theirs contradicts the symmetry pin),
-    // fall back to a pin-respecting identity placement so branch-and-bound
-    // always holds a feasible incumbent — a budgeted solve can then never
-    // come back empty-handed.
+    // A caller incumbent that contradicts the symmetry pins is first
+    // canonicalized by the same automorphism group (so annealing seeds
+    // survive symmetry breaking). If none is usable, fall back to a
+    // pin-respecting identity placement so branch-and-bound always holds a
+    // feasible incumbent — a budgeted solve can then never come back
+    // empty-handed.
     let mut milp_opts = opts.milp.clone();
     if let Some(inc) = &opts.incumbent {
+        let inc = match &sym {
+            Some(s) => canonicalize_placement(cube, inc, s),
+            None => inc.clone(),
+        };
         if let Some(x) =
-            expand_incumbent(cube, graph, &channels, &p, &g, &f, &r, z, inc, opts)
+            expand_incumbent(cube, graph, &channels, &p, &g, &f, &r, z, &inc, opts)
         {
             milp_opts.initial_incumbent = Some(x);
         }
     }
     if milp_opts.initial_incumbent.is_none() {
-        let fallback: Vec<NodeId> = if opts.symmetry_break && a > 0 {
-            let vols = graph.rank_volumes();
-            let heaviest = (0..a)
-                .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
-                .unwrap_or(0);
-            // heaviest at vertex 0, the rest in order on remaining vertices
-            let mut placement = vec![0 as NodeId; a];
-            let mut next = 1 as NodeId;
-            for (ai, pl) in placement.iter_mut().enumerate() {
-                if ai == heaviest {
-                    *pl = 0;
-                } else {
-                    *pl = next;
-                    next += 1;
+        let fallback: Vec<NodeId> = match &sym {
+            Some(s) => {
+                // pin-respecting: heaviest at vertex 0, second-heaviest on
+                // its smallest canonical vertex, the rest in order on the
+                // remaining free vertices
+                let mut placement = vec![0 as NodeId; a];
+                let mut used = vec![false; v];
+                used[0] = true;
+                if let Some(second) = s.second {
+                    let sv = (1..v).find(|&vi| s.canonical[vi] && !used[vi]).unwrap_or(1);
+                    used[sv] = true;
+                    placement[second] = sv as NodeId;
                 }
+                let mut next = 0usize;
+                for (ai, pl) in placement.iter_mut().enumerate() {
+                    if ai == s.heaviest || Some(ai) == s.second {
+                        continue;
+                    }
+                    while used[next] {
+                        next += 1;
+                    }
+                    used[next] = true;
+                    *pl = next as NodeId;
+                }
+                placement
             }
-            placement
-        } else {
-            (0..a as NodeId).collect()
+            None => (0..a as NodeId).collect(),
         };
         if let Some(x) =
             expand_incumbent(cube, graph, &channels, &p, &g, &f, &r, z, &fallback, opts)
@@ -305,7 +345,130 @@ pub fn milp_map(
         minimal,
         nodes,
         deadline_hit: res.deadline_hit,
+        symmetry_pruned,
     })
+}
+
+/// Root symmetry-breaking plan: which clusters are pinned or restricted,
+/// and the cube automorphisms that justify it.
+struct Symmetry {
+    /// Cluster pinned to vertex 0 (valid by vertex transitivity).
+    heaviest: usize,
+    /// Cluster restricted to orbit representatives, when orbital fixing
+    /// applies (all-extent-2 cube with at least two clusters).
+    second: Option<usize>,
+    /// Per-vertex flag: is this vertex the minimum of its orbit under the
+    /// stabilizer of vertex 0? (all true when orbital fixing is off)
+    canonical: Vec<bool>,
+    /// The stabilizer of vertex 0 in the cube's automorphism group: axis
+    /// permutations preserving each dimension's (width, wrap) class.
+    perms: Vec<Orientation>,
+}
+
+fn build_symmetry(cube: &Torus, graph: &CommGraph, a: usize, v: usize) -> Symmetry {
+    let vols = graph.rank_volumes();
+    let heaviest = (0..a)
+        .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
+        .unwrap_or(0);
+    // Orbital fixing needs the full hyperoctahedral structure: every
+    // dimension of extent 2, so each per-dimension flip is an automorphism
+    // (a translation on wrapped dims, a mirror on mesh dims) and axis
+    // permutations generate the stabilizer of vertex 0.
+    let orbital = !cube.dims().is_empty() && cube.dims().iter().all(|&e| e == 2);
+    let second = if orbital {
+        (0..a)
+            .filter(|&ai| ai != heaviest)
+            .max_by(|&x, &y| vols[x].total_cmp(&vols[y]))
+    } else {
+        None
+    };
+    let (perms, canonical) = if second.is_some() {
+        let perms = stabilizer_perms(cube);
+        let extent = Coord::new(cube.dims());
+        let canonical = (0..v)
+            .map(|vi| canonical_vertex(cube, &extent, vi as NodeId, &perms) == vi as NodeId)
+            .collect();
+        (perms, canonical)
+    } else {
+        (Vec::new(), vec![true; v])
+    };
+    Symmetry {
+        heaviest,
+        second,
+        canonical,
+        perms,
+    }
+}
+
+/// Flip-free axis permutations that preserve each dimension's channel
+/// width and wrap class — exactly the automorphisms fixing vertex 0.
+fn stabilizer_perms(cube: &Torus) -> Vec<Orientation> {
+    let n = cube.ndims();
+    Orientation::enumerate(n)
+        .into_iter()
+        .filter(|o| {
+            (0..n).all(|d| !o.flipped(d))
+                && (0..n).all(|d| {
+                    cube.dim_width(o.perm(d)) == cube.dim_width(d)
+                        && cube.wraps(o.perm(d)) == cube.wraps(d)
+                })
+        })
+        .collect()
+}
+
+/// The minimum node id in `vi`'s orbit under `perms`.
+fn canonical_vertex(cube: &Torus, extent: &Coord, vi: NodeId, perms: &[Orientation]) -> NodeId {
+    let c = cube.coord(vi);
+    perms
+        .iter()
+        .map(|o| cube.node_id(&o.apply(&c, extent)))
+        .min()
+        .unwrap_or(vi)
+}
+
+/// Maps a placement onto an equivalent one satisfying the symmetry pins:
+/// translate the heaviest cluster to vertex 0 (per-dimension flips), then
+/// rotate the second-heaviest onto its orbit representative with a
+/// stabilizer permutation. Every step is a cube automorphism, so the MCL
+/// of the placement is unchanged.
+fn canonicalize_placement(cube: &Torus, placement: &[NodeId], sym: &Symmetry) -> Vec<NodeId> {
+    if sym.perms.is_empty() {
+        // Orbital data absent (not an all-2 cube): the heaviest pin alone
+        // still applies, but a general translation is only available on
+        // fully wrapped tori; leave the placement as-is and let
+        // `expand_incumbent` drop it if it contradicts the pin.
+        return placement.to_vec();
+    }
+    let n = cube.ndims();
+    let extent = Coord::new(cube.dims());
+    let h = cube.coord(placement[sym.heaviest]);
+    let mut flips = 0u8;
+    for d in 0..n {
+        if h.get(d) == 1 {
+            flips |= 1 << d;
+        }
+    }
+    let ident: Vec<u8> = (0..n as u8).collect();
+    let flip = Orientation::new(&ident, flips);
+    let mut coords: Vec<Coord> = placement
+        .iter()
+        .map(|&w| flip.apply(&cube.coord(w), &extent))
+        .collect();
+    if let Some(second) = sym.second {
+        let mut best: Option<(NodeId, &Orientation)> = None;
+        for o in &sym.perms {
+            let img = cube.node_id(&o.apply(&coords[second], &extent));
+            if best.is_none_or(|(b, _)| img < b) {
+                best = Some((img, o));
+            }
+        }
+        if let Some((_, o)) = best {
+            for c in coords.iter_mut() {
+                *c = o.apply(c, &extent);
+            }
+        }
+    }
+    coords.iter().map(|c| cube.node_id(c)).collect()
 }
 
 /// Builds a complete feasible MILP point from a placement by routing each
@@ -573,6 +736,73 @@ mod tests {
         assert!(r.deadline_hit, "zero deadline must be reported");
         assert_eq!(r.placement, sa.placement, "incumbent survives the timeout");
         assert!(!r.proven_optimal);
+    }
+
+    #[test]
+    fn orbital_fixing_preserves_optimum_and_prunes() {
+        // On the 2-ary 2-cube the stabilizer of vertex 0 swaps the axes;
+        // vertex orbits are the Hamming-weight classes {0}, {1, 2}, {3},
+        // so orbital fixing eliminates 1 of the second cluster's 4
+        // placement columns. The optimum must be unchanged: the pruned
+        // placements are automorphic images.
+        let cube = Torus::two_ary_cube(2);
+        for seed in [11u64, 12, 13] {
+            let g = patterns::random(4, 7, 1.0, 15.0, seed);
+            let on = milp_map(&cube, &g, &quick_opts()).unwrap();
+            let off = milp_map(
+                &cube,
+                &g,
+                &MilpMapOptions {
+                    symmetry_break: false,
+                    ..quick_opts()
+                },
+            )
+            .unwrap();
+            assert_eq!(on.symmetry_pruned, 1, "seed {seed}");
+            assert_eq!(off.symmetry_pruned, 0, "seed {seed}");
+            assert!(on.proven_optimal && off.proven_optimal, "seed {seed}");
+            assert!(
+                (on.mcl - off.mcl).abs() < 1e-6,
+                "seed {seed}: symmetric {} vs free {}",
+                on.mcl,
+                off.mcl
+            );
+        }
+        // On the 3-cube the stabilizer is S3 and the weight-class
+        // representatives are {0, 1, 3, 7}: 4 of 8 columns pruned.
+        let cube3 = Torus::two_ary_cube(3);
+        let g3 = patterns::random(5, 8, 1.0, 15.0, 11);
+        let on3 = milp_map(&cube3, &g3, &quick_opts()).unwrap();
+        assert_eq!(on3.symmetry_pruned, 4);
+    }
+
+    #[test]
+    fn incumbent_is_canonicalized_not_dropped() {
+        // An annealing incumbent almost never satisfies the symmetry pins
+        // as-is; canonicalization re-orients it with cube automorphisms so
+        // a 1-node budget still returns a usable placement that respects
+        // the pin (heaviest cluster on vertex 0).
+        let cube = Torus::two_ary_cube(2);
+        let g = patterns::random(4, 8, 1.0, 20.0, 5);
+        let sa = anneal_map(&cube, &g, &AnnealOptions::default());
+        let r = milp_map(
+            &cube,
+            &g,
+            &MilpMapOptions {
+                incumbent: Some(sa.placement.clone()),
+                milp: MilpOptions {
+                    max_nodes: 1,
+                    ..Default::default()
+                },
+                ..quick_opts()
+            },
+        )
+        .unwrap();
+        let set: std::collections::HashSet<_> = r.placement.iter().collect();
+        assert_eq!(set.len(), 4, "placement must stay a bijection");
+        let vols = g.rank_volumes();
+        let heaviest = (0..4).max_by(|&x, &y| vols[x].total_cmp(&vols[y])).unwrap();
+        assert_eq!(r.placement[heaviest], 0, "pin respected after re-orientation");
     }
 
     fn permutations(n: usize) -> Vec<Vec<usize>> {

@@ -56,6 +56,15 @@ pub struct RahtmConfig {
     pub milp_node_budget: usize,
     /// Simplex pivot budget per LP.
     pub milp_lp_iters: usize,
+    /// Branch-and-bound worker threads per Table II solve. `1` (the
+    /// default) keeps the serial solver — bit-identical to every earlier
+    /// release. `0` means auto: each slice worker gets an even share of
+    /// the cores ([`crate::cores::share`]), so slice-level and node-level
+    /// parallelism never oversubscribe the machine between them. Any
+    /// value above 1 enables the work-stealing parallel solver *and*
+    /// hyperoctahedral symmetry breaking in the sub-problem MILPs (the
+    /// pruning that makes the extra workers pay off).
+    pub milp_threads: usize,
     /// Simulated-annealing proposals per sub-problem (incumbent and/or
     /// fallback).
     pub anneal_iters: usize,
@@ -92,6 +101,7 @@ impl Default for RahtmConfig {
             use_milp: true,
             milp_node_budget: 60,
             milp_lp_iters: 50_000,
+            milp_threads: 1,
             anneal_iters: 20_000,
             cache_subproblems: true,
             tiling_search: true,
@@ -177,6 +187,10 @@ pub struct PhaseStats {
     pub milp_cache_hits: usize,
     /// Total branch-and-bound nodes across solves.
     pub milp_nodes: usize,
+    /// Placement columns eliminated by hyperoctahedral symmetry breaking
+    /// across all Table II solves (non-zero only with `milp_threads > 1`,
+    /// which enables orbital fixing).
+    pub milp_symmetry_pruned: usize,
     /// Orientation candidates evaluated in phase 3.
     pub merge_candidates: usize,
     /// Candidates surviving beam truncation in phase 3 (entries carried
@@ -204,6 +218,7 @@ impl PhaseStats {
         self.milp_solves += other.milp_solves;
         self.milp_cache_hits += other.milp_cache_hits;
         self.milp_nodes += other.milp_nodes;
+        self.milp_symmetry_pruned += other.milp_symmetry_pruned;
         self.merge_candidates += other.merge_candidates;
         self.merge_kept += other.merge_kept;
         self.merge_cache_hits += other.merge_cache_hits;
@@ -380,6 +395,11 @@ impl RahtmMapper {
 
         // ---- Per-slice phases 2+3 (slices are independent; run them on
         // crossbeam scoped threads sharing the sub-problem cache) ----
+        // Core budget: slice workers split the machine evenly, and each
+        // slice's merge pool and branch-and-bound workers live inside that
+        // share — the three layers of parallelism never multiply.
+        let slice_core_share = crate::cores::share(slices.len());
+        let milp_threads = crate::cores::resolve(cfg.milp_threads, slices.len());
         let cache: Mutex<HashMap<SubKey, Vec<NodeId>>> = Mutex::new(HashMap::new());
         let merge_cache: Mutex<HashMap<MergeKey, Vec<Coord>>> = Mutex::new(HashMap::new());
         type SliceOutcome =
@@ -408,6 +428,8 @@ impl RahtmMapper {
                         machine_stencils,
                         &mut local_stats,
                         deadline,
+                        slice_core_share,
+                        milp_threads,
                     );
                     (block, local_stats)
                 }));
@@ -457,6 +479,8 @@ impl RahtmMapper {
                             &machine_stencils,
                             &mut local_stats,
                             deadline,
+                            slice_core_share,
+                            milp_threads,
                         );
                         (block, local_stats)
                     }));
@@ -590,6 +614,8 @@ impl RahtmMapper {
         machine_stencils: &Arc<RouteStencilCache>,
         stats: &mut PhaseStats,
         deadline: Deadline,
+        core_share: usize,
+        milp_threads: usize,
     ) -> PositionedBlock {
         let cfg = &self.config;
         let topo = machine.torus();
@@ -648,8 +674,15 @@ impl RahtmMapper {
         let mut pin: Vec<Vec<Coord>> = Vec::with_capacity(d_levels);
         // root solve
         let root_graph = &levels[0].coarse_graph;
-        let root_place =
-            self.solve_subproblem(&root_cube, root_graph, cache, &root_stencils, stats, deadline);
+        let root_place = self.solve_subproblem(
+            &root_cube,
+            root_graph,
+            cache,
+            &root_stencils,
+            stats,
+            deadline,
+            milp_threads,
+        );
         pin.push(
             root_place
                 .iter()
@@ -667,8 +700,15 @@ impl RahtmMapper {
                     .collect();
                 assert_eq!(children.len(), branching as usize);
                 let induced = child_graph.induced(&children);
-                let place = self
-                    .solve_subproblem(&leaf_cube, &induced, cache, &leaf_stencils, stats, deadline);
+                let place = self.solve_subproblem(
+                    &leaf_cube,
+                    &induced,
+                    cache,
+                    &leaf_stencils,
+                    stats,
+                    deadline,
+                    milp_threads,
+                );
                 for (li, &child) in children.iter().enumerate() {
                     let v = embed_vertex(&leaf_cube, place[li], &active, nd);
                     let mut c = Coord::zero(nd);
@@ -776,6 +816,7 @@ impl RahtmMapper {
                         deadline,
                         recorder: self.recorder.clone(),
                         stencils: Some(Arc::clone(machine_stencils)),
+                        thread_cap: core_share,
                         ..Default::default()
                     },
                 );
@@ -830,6 +871,7 @@ impl RahtmMapper {
     ///
     /// Every rung below the configured top level is recorded in
     /// `stats.degradation`. The ladder always produces a valid placement.
+    #[allow(clippy::too_many_arguments)]
     fn solve_subproblem(
         &self,
         cube: &Torus,
@@ -838,6 +880,7 @@ impl RahtmMapper {
         stencils: &Arc<RouteStencilCache>,
         stats: &mut PhaseStats,
         deadline: Deadline,
+        milp_threads: usize,
     ) -> Vec<NodeId> {
         let cfg = &self.config;
         let key = sub_key(cube, graph);
@@ -922,10 +965,15 @@ impl RahtmMapper {
                 graph,
                 &MilpMapOptions {
                     enforce_minimal: cfg.enforce_minimal,
-                    symmetry_break: false,
+                    // Orbital fixing rides with the parallel solver: the
+                    // serial default path stays bit-identical to earlier
+                    // releases, while multi-threaded runs also get the
+                    // symmetry pruning that multiplies their speedup.
+                    symmetry_break: milp_threads > 1,
                     incumbent: Some(sa.placement.clone()),
                     milp: MilpOptions {
                         max_nodes: cfg.milp_node_budget,
+                        threads: milp_threads,
                         lp: SimplexOptions {
                             max_iters: cfg.milp_lp_iters,
                             deadline: milp_deadline,
@@ -939,6 +987,7 @@ impl RahtmMapper {
             match milp_res {
                 Ok(res) => {
                     stats.milp_nodes += res.nodes;
+                    stats.milp_symmetry_pruned += res.symmetry_pruned;
                     if res.deadline_hit {
                         stats.degradation.anneal += 1;
                         stats.degradation.downgraded += 1;
@@ -1305,6 +1354,31 @@ mod tests {
             .unwrap();
         assert_eq!(res.stats.degradation.total_downgrades(), 0);
         assert!(res.stats.degradation.events.is_empty());
+    }
+
+    #[test]
+    fn multithreaded_milp_config_runs_and_prunes_symmetry() {
+        let machine = BgqMachine::toy_4x4();
+        let g = patterns::halo_2d(4, 4, 10.0, true);
+        let cfg = RahtmConfig {
+            use_milp: true,
+            milp_threads: 2,
+            milp_node_budget: 25,
+            anneal_iters: 2_000,
+            beam_width: 8,
+            ..Default::default()
+        };
+        let res = RahtmMapper::new(cfg.clone()).map(&machine, &g, Some(RankGrid::new(&[4, 4])));
+        res.mapping.validate(&machine);
+        assert!(res.stats.milp_nodes > 0);
+        assert!(
+            res.stats.milp_symmetry_pruned > 0,
+            "multi-threaded runs enable orbital fixing: {:?}",
+            res.stats
+        );
+        // the parallel solver is deterministic: repeat runs agree
+        let again = RahtmMapper::new(cfg).map(&machine, &g, Some(RankGrid::new(&[4, 4])));
+        assert_eq!(res.mapping, again.mapping);
     }
 
     #[test]

@@ -45,6 +45,7 @@ struct Args {
     fast: bool,
     milp: bool,
     beam: Option<usize>,
+    milp_threads: Option<usize>,
     time_limit: Option<f64>,
     trace_json: Option<String>,
     quiet: bool,
@@ -53,7 +54,11 @@ struct Args {
 fn usage() -> &'static str {
     "usage: rahtm-map (--profile FILE.json | --benchmark BT|SP|CG --ranks N)\n       \
      --machine AxBxC... [--cores N] [--grid RxC] [--out FILE.map]\n       \
-     [--fast] [--milp] [--beam N] [--time-limit SECS] [--trace-json FILE] [--quiet]"
+     [--fast] [--milp] [--milp-threads N] [--beam N] [--time-limit SECS]\n       \
+     [--trace-json FILE] [--quiet]\n\n\
+     --milp-threads N   branch-and-bound workers per MILP solve\n\
+                        (1 = serial, 0 = auto per-slice core share;\n\
+                        >1 also enables symmetry pruning)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         fast: false,
         milp: false,
         beam: None,
+        milp_threads: None,
         time_limit: None,
         trace_json: None,
         quiet: false,
@@ -134,6 +140,14 @@ fn parse_args() -> Result<Args, String> {
                     value(&argv, i, "--beam")?
                         .parse()
                         .map_err(|e| format!("--beam: {e}"))?,
+                );
+                i += 2;
+            }
+            "--milp-threads" => {
+                a.milp_threads = Some(
+                    value(&argv, i, "--milp-threads")?
+                        .parse()
+                        .map_err(|e| format!("--milp-threads: {e}"))?,
                 );
                 i += 2;
             }
@@ -267,6 +281,9 @@ fn run(args: &Args) -> Result<(), RahtmError> {
     cfg.use_milp = args.milp || (!args.fast && cfg.use_milp);
     if let Some(b) = args.beam {
         cfg.beam_width = b;
+    }
+    if let Some(t) = args.milp_threads {
+        cfg.milp_threads = t;
     }
     cfg.time_limit = args.time_limit.map(Duration::from_secs_f64);
     let recorder = if args.trace_json.is_some() {

@@ -1,9 +1,12 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`thread::scope`] is used by this workspace; std has provided
-//! scoped threads since 1.63, so this shim adapts `std::thread::scope` to
-//! crossbeam's signature (closures receive `&Scope`, `scope` returns a
-//! `Result`, spawned-thread panics surface through `join()`).
+//! The workspace uses [`thread::scope`] and the [`deque`] work-stealing
+//! primitives; std has provided scoped threads since 1.63, so the thread
+//! shim adapts `std::thread::scope` to crossbeam's signature (closures
+//! receive `&Scope`, `scope` returns a `Result`, spawned-thread panics
+//! surface through `join()`). The deque shim reproduces the
+//! `crossbeam-deque` API (`Worker`/`Stealer`/`Injector`/`Steal`) over a
+//! lock-guarded ring; see that module for the fidelity notes.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -57,6 +60,198 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques, mirroring the `crossbeam-deque` API.
+///
+/// Each owner thread holds a [`deque::Worker`] it pushes and pops from the
+/// *back* of (LIFO, depth-first), while other threads steal from the
+/// *front* (FIFO: the oldest entries, which in branch-and-bound are the
+/// nodes closest to the root and therefore the largest subtrees). A
+/// [`deque::Injector`] is a shared FIFO queue any thread may push to or
+/// steal from.
+///
+/// Fidelity note: the real crate uses a lock-free Chase–Lev deque; this
+/// stand-in guards a `VecDeque` with a `Mutex`, which preserves the API,
+/// the LIFO-pop/FIFO-steal discipline, and the `Steal::Retry` contract,
+/// and trades peak throughput for `#![forbid(unsafe_code)]`. Consumers in
+/// this workspace perform a full LP solve per popped item, so queue
+/// contention is noise.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// An item was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A deque owned by one worker thread.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes an item onto the owner end of the deque.
+        pub fn push(&self, item: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(item);
+        }
+
+        /// Pops the most recently pushed item (depth-first order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_back()
+        }
+
+        /// True when the deque holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// Creates a handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest item (the opposite end from the owner's pops).
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the deque holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+    }
+
+    /// A shared FIFO queue any thread may push to or steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes an item onto the back of the queue.
+        pub fn push(&self, item: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(item);
+        }
+
+        /// Steals the oldest item from the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the queue holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -81,5 +276,56 @@ mod tests {
         })
         .unwrap();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_pops_lifo_stealer_takes_fifo() {
+        let w = super::deque::Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        // Owner sees depth-first order; thief takes the oldest entry.
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_and_shared() {
+        let inj = super::deque::Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some("a"));
+        assert_eq!(inj.steal().success(), Some("b"));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_drain_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = super::deque::Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move |_| {
+                    while s.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(taken.load(std::sync::atomic::Ordering::Relaxed), 1000);
     }
 }
